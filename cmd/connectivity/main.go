@@ -1,0 +1,80 @@
+// Command connectivity compares the exact vertex/edge connectivity with
+// the packing-based O(log n)-approximation of Corollary 1.7.
+//
+// Usage:
+//
+//	connectivity -family hypercube -param 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	decomp "repro"
+)
+
+func main() {
+	family := flag.String("family", "hypercube", "graph family: hypercube|complete|torus|harary|hamcycles|gnp")
+	param := flag.Int("param", 6, "family parameter")
+	n := flag.Int("n", 64, "number of vertices (when the family takes one)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	g, err := makeGraph(*family, *param, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Now()
+	kappa := decomp.VertexConnectivity(g)
+	tExactK := time.Since(t0)
+
+	t0 = time.Now()
+	lambda := decomp.EdgeConnectivity(g)
+	tExactL := time.Since(t0)
+
+	t0 = time.Now()
+	est, p, err := decomp.ApproxVertexConnectivity(g, decomp.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tApprox := time.Since(t0)
+
+	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("exact:  κ=%d (%v)   λ=%d (%v)\n", kappa, tExactK, lambda, tExactL)
+	fmt.Printf("approx: κ ∈ [%.3f, κ] via a %d-tree packing (%v)\n", est, len(p.Trees), tApprox)
+	if est > 0 {
+		fmt.Printf("approximation ratio: %.2f (paper guarantees O(log n) = ~%.1f here)\n",
+			float64(kappa)/est, log2(float64(g.N())))
+	}
+}
+
+func log2(x float64) float64 {
+	l := 0.0
+	for x > 1 {
+		x /= 2
+		l++
+	}
+	return l
+}
+
+func makeGraph(family string, param, n int, seed uint64) (*decomp.Graph, error) {
+	switch family {
+	case "hypercube":
+		return decomp.Hypercube(param), nil
+	case "complete":
+		return decomp.Complete(n), nil
+	case "torus":
+		return decomp.Torus(param, param), nil
+	case "harary":
+		return decomp.Harary(param, n)
+	case "hamcycles":
+		return decomp.RandomHamCycles(n, param, seed), nil
+	case "gnp":
+		return decomp.Gnp(n, float64(param)/100, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

@@ -1,0 +1,143 @@
+// Command figures regenerates the paper's three schematic figures as
+// Graphviz DOT from live data structures:
+//
+//	Figure 1 — the bridging graph of one recursive-assignment layer,
+//	Figure 2 — connector paths of a component (potential connectors),
+//	Figure 3 — the lower-bound construction G(X,Y).
+//
+// Usage: figures -fig 3 > fig3.dot && dot -Tpng fig3.dot -o fig3.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cds"
+	"repro/internal/graph"
+	"repro/internal/lower"
+)
+
+func main() {
+	fig := flag.Int("fig", 3, "figure number: 1, 2, or 3")
+	flag.Parse()
+	switch *fig {
+	case 1:
+		fig1()
+	case 2:
+		fig2()
+	case 3:
+		fig3()
+	default:
+		fmt.Fprintln(os.Stderr, "figure must be 1, 2 or 3")
+		os.Exit(2)
+	}
+}
+
+// fig1 renders a live class assignment: nodes colored by one class's
+// membership, visualizing the components the bridging graph would
+// connect (Figure 1 shows this schematically).
+func fig1() {
+	g := graph.Hypercube(4)
+	p, err := cds.PackWithGuess(g, 4, cds.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(p.Classes) == 0 {
+		log.Fatal("no classes")
+	}
+	colors := []string{"red", "blue", "green", "orange", "purple", "brown"}
+	classOfNode := make(map[int]int)
+	for c, members := range p.Classes {
+		for _, v := range members {
+			if _, ok := classOfNode[int(v)]; !ok {
+				classOfNode[int(v)] = c
+			}
+		}
+	}
+	err = graph.WriteDOT(os.Stdout, g, graph.DOTOptions{
+		Name: "bridging_classes",
+		NodeAttrs: func(v int) string {
+			c := classOfNode[v] % len(colors)
+			return fmt.Sprintf("style=filled, fillcolor=%q", colors[c])
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// fig2 renders the connector-path situation: one class's members
+// highlighted on a cycle-with-chords graph, with non-members (potential
+// connector interiors) hollow — the structure of Figure 2.
+func fig2() {
+	g := graph.Cycle(16)
+	// One "class component": vertices 0..3; its connectors run through
+	// 4..15 (paths of length <= 3 exist via the chords below).
+	b := graph.NewBuilder(16)
+	for _, e := range g.Edges() {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	b.AddEdge(2, 9)
+	b.AddEdge(3, 12)
+	gg := b.Graph()
+	member := map[int]bool{0: true, 1: true, 2: true, 3: true, 9: true, 10: true, 12: true}
+	err := graph.WriteDOT(os.Stdout, gg, graph.DOTOptions{
+		Name: "connector_paths",
+		NodeAttrs: func(v int) string {
+			if member[v] {
+				return "style=filled, fillcolor=green"
+			}
+			return "shape=diamond"
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// fig3 renders G(X,Y) for h=ℓ=3, w=2 with X={0,2}, Y={1,2} (element 2 in
+// the intersection, as in the paper's Figure 3).
+func fig3() {
+	inst, err := lower.Build(lower.Params{H: 3, L: 3, W: 2}, []int{0, 2}, []int{1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hub := map[int]bool{inst.A: true, inst.B: true}
+	gadget := map[int]string{}
+	for x, u := range inst.UNodes {
+		gadget[u] = fmt.Sprintf("u%d", x)
+	}
+	for y, v := range inst.VNodes {
+		gadget[v] = fmt.Sprintf("v%d", y)
+	}
+	err = graph.WriteDOT(os.Stdout, inst.G, graph.DOTOptions{
+		Name: "lower_bound_GXY",
+		Label: func(v int) string {
+			if v == inst.A {
+				return "a"
+			}
+			if v == inst.B {
+				return "b"
+			}
+			if l, ok := gadget[v]; ok {
+				return l
+			}
+			return fmt.Sprintf("%d", v)
+		},
+		NodeAttrs: func(v int) string {
+			switch {
+			case hub[v]:
+				return "style=filled, fillcolor=gray"
+			case gadget[v] != "":
+				return "style=filled, fillcolor=yellow"
+			default:
+				return "style=filled, fillcolor=lightblue"
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

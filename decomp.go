@@ -1,0 +1,291 @@
+// Package decomp is a reproduction of "Distributed Connectivity
+// Decomposition" (Censor-Hillel, Ghaffari, Kuhn — PODC 2014,
+// arXiv:1311.5317): algorithms that decompose a graph's vertex or edge
+// connectivity into fractionally disjoint dominating or spanning trees,
+// plus the applications the paper derives from them.
+//
+// The public API wraps the per-subsystem packages under internal/:
+//
+//   - Dominating-tree (CDS) packings of size Ω(k/log n) for
+//     k-vertex-connected graphs — Theorems 1.1 (distributed, V-CONGEST)
+//     and 1.2 (centralized, O~(m)).
+//   - Spanning-tree packings of size ⌈(λ-1)/2⌉(1-ε) for
+//     λ-edge-connected graphs — Theorem 1.3 (E-CONGEST and centralized).
+//   - An O(log n)-approximation of vertex connectivity (Corollary 1.7).
+//   - Broadcast/gossip with near-optimal throughput and oblivious-
+//     routing congestion (Corollaries 1.4–1.6, A.1).
+//
+// Distributed algorithms run on a synchronous message-passing simulator
+// that enforces the paper's V-CONGEST/E-CONGEST models and meters rounds,
+// messages, and bits; results carry those meters.
+package decomp
+
+import (
+	"repro/internal/cast"
+	"repro/internal/cds"
+	"repro/internal/cdsdist"
+	"repro/internal/ds"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stp"
+	"repro/internal/stpdist"
+)
+
+// Graph is an immutable undirected simple graph (see internal/graph).
+type Graph = graph.Graph
+
+// Tree is a subtree of a host graph stored as a parent forest.
+type Tree = graph.Tree
+
+// Meter is the distributed cost accounting: rounds (slot-serialized plus
+// driver charges), messages, and bits.
+type Meter = sim.Meter
+
+// Model selects the congestion model for distributed runs and broadcast.
+type Model = sim.Model
+
+// The two models of Section 1.2.
+const (
+	VCongest = sim.VCongest
+	ECongest = sim.ECongest
+)
+
+// DominatingTreePacking is a fractional dominating-tree packing
+// (Theorem 1.1/1.2 output).
+type DominatingTreePacking = cds.Packing
+
+// SpanningTreePacking is a fractional spanning-tree packing (Theorem 1.3
+// output).
+type SpanningTreePacking = stp.Packing
+
+// DistDominatingResult couples a distributed packing with its cost meter.
+type DistDominatingResult = cdsdist.Result
+
+// DistSpanningResult couples a distributed spanning packing with its
+// cost meter.
+type DistSpanningResult = stpdist.Result
+
+// BroadcastResult reports rounds, throughput, and congestion of a
+// dissemination run.
+type BroadcastResult = cast.Result
+
+// Options configures the packing algorithms; the zero value uses the
+// defaults the experiments were calibrated with. Use the With* helpers.
+type Options struct {
+	cds cds.Options
+	stp stp.Options
+}
+
+// Option customizes Options.
+type Option func(*Options)
+
+// WithSeed fixes all randomness; identical seeds give identical results.
+func WithSeed(seed uint64) Option {
+	return func(o *Options) {
+		o.cds.Seed = seed
+		o.stp.Seed = seed
+	}
+}
+
+// WithKnownConnectivity skips the try-and-error loop (dominating trees)
+// or the min-cut estimation (spanning trees) by asserting the graph's
+// connectivity.
+func WithKnownConnectivity(k int) Option {
+	return func(o *Options) { o.stp.KnownLambda = k }
+}
+
+// WithEpsilon sets the spanning-tree packing's ε (default 0.1).
+func WithEpsilon(eps float64) Option {
+	return func(o *Options) { o.stp.Epsilon = eps }
+}
+
+// WithClassFactor overrides t = ClassFactor·k-hat in the CDS packing.
+func WithClassFactor(f float64) Option {
+	return func(o *Options) { o.cds.ClassFactor = f }
+}
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// --- Graph construction -------------------------------------------------
+
+// NewGraph builds a graph on n vertices from an edge list; duplicates
+// and self-loops are dropped.
+func NewGraph(n int, edges [][2]int) *Graph { return graph.FromEdgeList(n, edges) }
+
+// Hypercube returns the d-dimensional hypercube (κ = λ = d).
+func Hypercube(d int) *Graph { return graph.Hypercube(d) }
+
+// Complete returns K_n (κ = λ = n-1).
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// Torus returns the rows×cols wraparound grid (κ = λ = 4 for sizes >= 3).
+func Torus(rows, cols int) *Graph { return graph.Torus(rows, cols) }
+
+// Harary returns the minimal k-connected graph H_{k,n} (κ = λ = k).
+func Harary(k, n int) (*Graph, error) { return graph.Harary(k, n) }
+
+// RandomRegular returns a random d-regular graph (d-connected w.h.p.
+// for d >= 3).
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return graph.RandomRegular(n, d, ds.NewRand(seed))
+}
+
+// RandomHamCycles returns the union of c random Hamiltonian cycles
+// (connectivity 2c w.h.p.).
+func RandomHamCycles(n, c int, seed uint64) *Graph {
+	return graph.RandomHamCycles(n, c, ds.NewRand(seed))
+}
+
+// Gnp returns an Erdős–Rényi random graph.
+func Gnp(n int, p float64, seed uint64) *Graph {
+	return graph.Gnp(n, p, ds.NewRand(seed))
+}
+
+// --- Connectivity -------------------------------------------------------
+
+// VertexConnectivity computes the exact vertex connectivity κ(G)
+// (Even's algorithm over unit-capacity max-flows).
+func VertexConnectivity(g *Graph) int { return flow.VertexConnectivity(g) }
+
+// EdgeConnectivity computes the exact edge connectivity λ(G).
+func EdgeConnectivity(g *Graph) int { return flow.EdgeConnectivity(g) }
+
+// ApproxVertexConnectivity estimates κ(G) within an O(log n) factor via
+// the dominating-tree packing (Corollary 1.7): the estimate never
+// exceeds κ and is Ω(κ/log n) w.h.p.
+func ApproxVertexConnectivity(g *Graph, opts ...Option) (float64, *DominatingTreePacking, error) {
+	o := buildOptions(opts)
+	return cds.ApproxVertexConnectivity(g, o.cds)
+}
+
+// ApproxVertexConnectivityDistributed is the distributed half of
+// Corollary 1.7: the same O(log n)-approximation computed by the
+// V-CONGEST protocol in O~(D+√n) rounds, returned with its meter.
+func ApproxVertexConnectivityDistributed(g *Graph, opts ...Option) (float64, *DistDominatingResult, error) {
+	o := buildOptions(opts)
+	res, err := cdsdist.Pack(g, o.cds)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Packing.Size(), res, nil
+}
+
+// SparseCertificate returns a spanning subgraph with at most k(n-1)
+// edges preserving edge connectivity up to k (Nagamochi–Ibaraki /
+// Thurimella [49], the sparsification primitive behind Theorem B.2).
+func SparseCertificate(g *Graph, k int) *Graph { return graph.SparseCertificate(g, k) }
+
+// --- Packings -----------------------------------------------------------
+
+// PackDominatingTrees runs the centralized O~(m) fractional
+// dominating-tree packing (Theorem 1.2), including the try-and-error
+// connectivity search of Remark 3.1.
+func PackDominatingTrees(g *Graph, opts ...Option) (*DominatingTreePacking, error) {
+	o := buildOptions(opts)
+	return cds.Pack(g, o.cds)
+}
+
+// PackDominatingTreesDistributed runs the V-CONGEST protocol of
+// Theorem 1.1 on the simulator and returns the packing with its round
+// meter.
+func PackDominatingTreesDistributed(g *Graph, opts ...Option) (*DistDominatingResult, error) {
+	o := buildOptions(opts)
+	return cdsdist.Pack(g, o.cds)
+}
+
+// PackDominatingTreesDistributedWithGuess runs the Theorem 1.1 protocol
+// with a known 2-approximation of κ, skipping the try-and-error loop.
+func PackDominatingTreesDistributedWithGuess(g *Graph, kGuess int, opts ...Option) (*DistDominatingResult, error) {
+	o := buildOptions(opts)
+	return cdsdist.PackWithGuess(g, kGuess, o.cds)
+}
+
+// PackSpanningTrees runs the centralized fractional spanning-tree
+// packing (Section 5): size ⌈(λ-1)/2⌉(1-O(ε)).
+func PackSpanningTrees(g *Graph, opts ...Option) (*SpanningTreePacking, error) {
+	o := buildOptions(opts)
+	return stp.Pack(g, o.stp)
+}
+
+// PackSpanningTreesDistributed runs the E-CONGEST protocol of
+// Theorem 1.3 on the simulator.
+func PackSpanningTreesDistributed(g *Graph, opts ...Option) (*DistSpanningResult, error) {
+	o := buildOptions(opts)
+	return stpdist.Pack(g, o.stp)
+}
+
+// IntegralSpanningTrees returns edge-disjoint spanning trees of count
+// Ω(λ/log n) (the integral variant noted under Theorem 1.3).
+func IntegralSpanningTrees(g *Graph, opts ...Option) ([]*Tree, error) {
+	o := buildOptions(opts)
+	return stp.IntegralPack(g, o.stp)
+}
+
+// DisjointDominatingTrees extracts vertex-disjoint dominating trees from
+// a fractional packing (the integral adaptation of Section 1.2).
+func DisjointDominatingTrees(g *Graph, p *DominatingTreePacking) []*Tree {
+	return cds.ExtractDisjoint(g, p)
+}
+
+// IndependentSpanningTrees converts vertex-disjoint dominating trees
+// into vertex independent spanning trees rooted at root (Section 1.4.1):
+// for every vertex, the root paths in different trees are internally
+// vertex-disjoint — an algorithmic poly-log approximation of the
+// Zehavi–Itai conjecture.
+func IndependentSpanningTrees(g *Graph, disjoint []*Tree, root int) ([]*Tree, error) {
+	return cds.IndependentTrees(g, disjoint, root)
+}
+
+// --- Information dissemination ------------------------------------------
+
+// Broadcast routes each message along a random tree of the dominating-
+// tree packing in the V-CONGEST model (Corollary 1.4).
+func Broadcast(g *Graph, p *DominatingTreePacking, sources []int, seed uint64) (BroadcastResult, error) {
+	return cast.Broadcast(g, domToWeighted(p), cast.Demand{Sources: sources}, sim.VCongest, seed)
+}
+
+// BroadcastEdges routes each message along a random spanning tree in the
+// E-CONGEST model (Corollary 1.5).
+func BroadcastEdges(g *Graph, p *SpanningTreePacking, sources []int, seed uint64) (BroadcastResult, error) {
+	return cast.Broadcast(g, spanToWeighted(p), cast.Demand{Sources: sources}, sim.ECongest, seed)
+}
+
+// Gossip performs all-to-all broadcast (Appendix A): one message per
+// node, routed through the dominating-tree packing.
+func Gossip(g *Graph, p *DominatingTreePacking, seed uint64) (BroadcastResult, error) {
+	return cast.Broadcast(g, domToWeighted(p), cast.AllToAll(g.N()), sim.VCongest, seed)
+}
+
+// SingleTreeBroadcast is the throughput-1 baseline: all messages over
+// one pipelined BFS tree.
+func SingleTreeBroadcast(g *Graph, sources []int, model Model, seed uint64) (BroadcastResult, error) {
+	return cast.SingleTreeBaseline(g, cast.Demand{Sources: sources}, model, seed)
+}
+
+// UniformSources draws nMsgs message sources uniformly at random.
+func UniformSources(n, nMsgs int, seed uint64) []int {
+	return cast.UniformDemand(n, nMsgs, ds.NewRand(seed)).Sources
+}
+
+func domToWeighted(p *DominatingTreePacking) []cast.WeightedTree {
+	out := make([]cast.WeightedTree, len(p.Trees))
+	for i, t := range p.Trees {
+		out[i] = cast.WeightedTree{Tree: t.Tree, Weight: t.Weight}
+	}
+	return out
+}
+
+func spanToWeighted(p *SpanningTreePacking) []cast.WeightedTree {
+	out := make([]cast.WeightedTree, len(p.Trees))
+	for i, t := range p.Trees {
+		out[i] = cast.WeightedTree{Tree: t.Tree, Weight: t.Weight}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package decomp_test
+
+import (
+	"testing"
+
+	decomp "repro"
+	"repro/internal/cds"
+)
+
+func TestIndependentSpanningTreesEndToEnd(t *testing.T) {
+	g := decomp.Complete(32)
+	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint := decomp.DisjointDominatingTrees(g, p)
+	if len(disjoint) < 2 {
+		t.Skipf("only %d disjoint trees", len(disjoint))
+	}
+	trees, err := decomp.IndependentSpanningTrees(g, disjoint, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cds.VerifyIndependent(g, trees, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowConnectivityHighDiameterFamily(t *testing.T) {
+	// CliqueChain: κ=2, diameter ~cliques. The packing must stay valid
+	// and of size at least 1 (a single CDS), the regime where the
+	// theory predicts no parallelism win.
+	g := decomp.NewGraph(0, nil)
+	_ = g
+	chain, err := chainGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := decomp.PackDominatingTrees(chain, decomp.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(chain); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() < 1-1e-9 {
+		t.Fatalf("size %.3f below 1", p.Size())
+	}
+	// Exact κ=2: the packing can never exceed it.
+	if p.Size() > 2+1e-9 {
+		t.Fatalf("size %.3f exceeds κ=2", p.Size())
+	}
+}
+
+func chainGraph() (*decomp.Graph, error) {
+	// Build a clique chain through the public edge-list constructor.
+	const cliques, size, bridge = 5, 6, 2
+	var edges [][2]int
+	for c := 0; c < cliques; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, [2]int{base + i, base + j})
+			}
+		}
+		if c+1 < cliques {
+			for i := 0; i < bridge; i++ {
+				edges = append(edges, [2]int{base + i, base + size + i})
+			}
+		}
+	}
+	return decomp.NewGraph(cliques*size, edges), nil
+}
+
+func TestGossipDeliversOnSparseGraph(t *testing.T) {
+	// Torus with κ=4: gossip must terminate and meter sane congestion.
+	g := decomp.Torus(6, 6)
+	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := decomp.Gossip(g, p, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-to-all of n messages needs at least n-ish transmissions at the
+	// busiest node when the packing is a single tree; just sanity-bound.
+	if res.Rounds < g.N()/4 {
+		t.Fatalf("gossip of %d messages finished suspiciously fast: %d rounds", g.N(), res.Rounds)
+	}
+	if res.MaxVertexCongestion == 0 || res.MaxEdgeCongestion == 0 {
+		t.Fatalf("congestion not metered: %+v", res)
+	}
+}
+
+func TestEdgeConnectivityFacade(t *testing.T) {
+	if got := decomp.EdgeConnectivity(decomp.Hypercube(4)); got != 4 {
+		t.Fatalf("λ(Q4) = %d, want 4", got)
+	}
+	h, err := decomp.Harary(6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decomp.EdgeConnectivity(h); got != 6 {
+		t.Fatalf("λ(H_6,20) = %d, want 6", got)
+	}
+	if got := decomp.VertexConnectivity(h); got != 6 {
+		t.Fatalf("κ(H_6,20) = %d, want 6", got)
+	}
+}
+
+func TestRandomRegularFacade(t *testing.T) {
+	g, err := decomp.RandomRegular(30, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 || g.MinDegree() != 4 {
+		t.Fatalf("n=%d minDeg=%d", g.N(), g.MinDegree())
+	}
+	if _, err := decomp.RandomRegular(5, 3, 3); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+}
+
+func TestApproxVertexConnectivityDistributed(t *testing.T) {
+	g := decomp.Hypercube(4)
+	est, res, err := decomp.ApproxVertexConnectivityDistributed(g, decomp.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 || est > 4+1e-9 {
+		t.Fatalf("estimate %.3f outside (0, κ=4]", est)
+	}
+	if res.Meter.TotalRounds() == 0 {
+		t.Fatal("no rounds metered")
+	}
+}
+
+func TestSparseCertificateFacade(t *testing.T) {
+	g := decomp.Complete(16)
+	cert := decomp.SparseCertificate(g, 3)
+	if cert.M() > 3*(g.N()-1) {
+		t.Fatalf("certificate too dense: %d edges", cert.M())
+	}
+	if got := decomp.EdgeConnectivity(cert); got != 3 {
+		t.Fatalf("λ(cert) = %d, want 3", got)
+	}
+}

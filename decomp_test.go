@@ -1,0 +1,164 @@
+package decomp_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	decomp "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := decomp.Hypercube(5)
+	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := decomp.Gossip(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 || res.Throughput <= 0 {
+		t.Fatalf("gossip degenerate: %+v", res)
+	}
+}
+
+func TestApproxVertexConnectivityEndToEnd(t *testing.T) {
+	for _, d := range []int{3, 4, 5} {
+		g := decomp.Hypercube(d)
+		est, p, err := decomp.ApproxVertexConnectivity(g, decomp.WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := decomp.VertexConnectivity(g)
+		if exact != d {
+			t.Fatalf("Q%d: exact κ=%d", d, exact)
+		}
+		if est > float64(exact)+1e-9 {
+			t.Fatalf("Q%d: estimate %.3f exceeds κ=%d", d, est, exact)
+		}
+		logn := math.Log2(float64(g.N()) + 2)
+		if est < float64(exact)/(10*logn) {
+			t.Fatalf("Q%d: estimate %.3f below κ/(10 log n)", d, est)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSpanningPackingEndToEnd(t *testing.T) {
+	g := decomp.Complete(12) // λ=11, target ⌈10/2⌉=5
+	p, err := decomp.PackSpanningTrees(g, decomp.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Size(); s < 3 || s > 5+1e-9 {
+		t.Fatalf("size %.3f outside [3,5]", s)
+	}
+	res, err := decomp.BroadcastEdges(g, p, decomp.UniformSources(g.N(), 24, 7), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Fatalf("broadcast degenerate: %+v", res)
+	}
+}
+
+func TestDistributedFacades(t *testing.T) {
+	g := decomp.Hypercube(4)
+	dr, err := decomp.PackDominatingTreesDistributedWithGuess(g, 4, decomp.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.Packing.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Meter.TotalRounds() == 0 {
+		t.Fatal("no rounds metered")
+	}
+	sr, err := decomp.PackSpanningTreesDistributed(g, decomp.WithSeed(11), decomp.WithKnownConnectivity(4), decomp.WithEpsilon(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Packing.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegralAPIs(t *testing.T) {
+	g := decomp.Complete(48)
+	trees, err := decomp.IntegralSpanningTrees(g, decomp.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) < 2 {
+		t.Fatalf("only %d edge-disjoint trees from K48", len(trees))
+	}
+	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint := decomp.DisjointDominatingTrees(g, p)
+	if len(disjoint) == 0 {
+		t.Fatal("no vertex-disjoint dominating trees from K48")
+	}
+}
+
+// TestPackingSizeNeverExceedsConnectivity is the cut-argument invariant
+// as a property test over random graphs: any valid fractional
+// dominating-tree packing has size at most κ, and any spanning packing
+// at most ⌈(λ-1)/2⌉ — checked against exact connectivity.
+func TestPackingSizeNeverExceedsConnectivity(t *testing.T) {
+	property := func(seed uint64) bool {
+		g := decomp.RandomHamCycles(20, 2, seed) // κ≈4
+		kappa := decomp.VertexConnectivity(g)
+		lambda := decomp.EdgeConnectivity(g)
+		dp, err := decomp.PackDominatingTrees(g, decomp.WithSeed(seed))
+		if err != nil {
+			return kappa == 0 // only disconnected graphs may fail
+		}
+		if dp.Size() > float64(kappa)+1e-9 {
+			return false
+		}
+		sp, err := decomp.PackSpanningTrees(g, decomp.WithSeed(seed))
+		if err != nil {
+			return false
+		}
+		bound := math.Ceil(float64(lambda-1) / 2)
+		if bound < 1 {
+			bound = 1
+		}
+		return sp.Size() <= bound+1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastBeatsBaselineAtScale(t *testing.T) {
+	g := decomp.Hypercube(6)
+	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := decomp.UniformSources(g.N(), 2*g.N(), 19)
+	multi, err := decomp.Broadcast(g, p, srcs, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := decomp.SingleTreeBroadcast(g, srcs, decomp.VCongest, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Throughput <= single.Throughput {
+		t.Fatalf("packing throughput %.3f not above single-tree %.3f",
+			multi.Throughput, single.Throughput)
+	}
+}

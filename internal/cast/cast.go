@@ -1,0 +1,371 @@
+// Package cast implements the paper's information-dissemination
+// applications (Section 1.3.1, Appendix A): broadcast and gossip by
+// routing each message along a random tree of a connectivity
+// decomposition, with throughput and oblivious-routing congestion
+// metering (Corollaries 1.4, 1.5, 1.6 and A.1).
+//
+// The scheduler enforces the communication models directly: in
+// V-CONGEST each node transmits at most one message per round (heard by
+// all neighbors); in E-CONGEST each directed edge carries at most one
+// message per round. Scheduling decisions are node-local (FIFO queues);
+// the only global setup is a one-time announcement of tree memberships,
+// charged as setup rounds.
+package cast
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// WeightedTree is one tree of a decomposition with its fractional
+// weight. Both dominating-tree and spanning-tree packings convert to
+// this form.
+type WeightedTree struct {
+	Tree   *graph.Tree
+	Weight float64
+}
+
+// Result reports a dissemination run.
+type Result struct {
+	// Rounds is the number of rounds until every node held every message.
+	Rounds int
+	// SetupRounds is the one-time membership-announcement charge.
+	SetupRounds int
+	// Throughput is messages delivered per round, N/Rounds.
+	Throughput float64
+	// MaxVertexCongestion is the maximum number of transmissions by any
+	// single node (the Corollary 1.6 vertex-congestion).
+	MaxVertexCongestion int
+	// MaxEdgeCongestion is the maximum number of messages carried by any
+	// single edge (both directions combined).
+	MaxEdgeCongestion int
+	// TreeLoad is the maximum number of messages assigned to one tree.
+	TreeLoad int
+}
+
+// Demand is a multiset of messages to broadcast: message i originates at
+// Sources[i].
+type Demand struct {
+	Sources []int
+}
+
+// AllToAll returns the gossip demand (Appendix A): one message per node.
+func AllToAll(n int) Demand {
+	src := make([]int, n)
+	for i := range src {
+		src[i] = i
+	}
+	return Demand{Sources: src}
+}
+
+// UniformDemand returns nMsgs messages from uniformly random sources.
+func UniformDemand(n, nMsgs int, rng *rand.Rand) Demand {
+	src := make([]int, nMsgs)
+	for i := range src {
+		src[i] = rng.IntN(n)
+	}
+	return Demand{Sources: src}
+}
+
+// assignTrees routes each message to a tree with probability
+// proportional to tree weight (the paper's "broadcast each message along
+// a random tree").
+func assignTrees(trees []WeightedTree, nMsgs int, rng *rand.Rand) []int {
+	total := 0.0
+	for _, t := range trees {
+		total += t.Weight
+	}
+	out := make([]int, nMsgs)
+	for i := range out {
+		r := rng.Float64() * total
+		acc := 0.0
+		out[i] = len(trees) - 1
+		for ti, t := range trees {
+			acc += t.Weight
+			if r <= acc {
+				out[i] = ti
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Broadcast disseminates the demand's messages to every node of g by
+// routing each along a randomly chosen tree of the decomposition, and
+// returns the realized rounds, throughput, and congestion.
+//
+// In sim.VCongest mode the trees must be dominating trees; in
+// sim.ECongest mode they must be spanning trees.
+func Broadcast(g *graph.Graph, trees []WeightedTree, demand Demand, model sim.Model, seed uint64) (Result, error) {
+	if len(trees) == 0 {
+		return Result{}, fmt.Errorf("cast: no trees")
+	}
+	if len(demand.Sources) == 0 {
+		return Result{}, fmt.Errorf("cast: empty demand")
+	}
+	for i, t := range trees {
+		if model == sim.ECongest && !t.Tree.IsSpanning(g) {
+			return Result{}, fmt.Errorf("cast: tree %d not spanning (required in E-CONGEST)", i)
+		}
+		if model == sim.VCongest && !t.Tree.IsDominatingIn(g) {
+			return Result{}, fmt.Errorf("cast: tree %d not dominating (required in V-CONGEST)", i)
+		}
+	}
+	rng := ds.NewRand(seed)
+	assign := assignTrees(trees, len(demand.Sources), rng)
+	switch model {
+	case sim.VCongest:
+		return runVertexScheduler(g, trees, demand, assign)
+	case sim.ECongest:
+		return runEdgeScheduler(g, trees, demand, assign)
+	default:
+		return Result{}, fmt.Errorf("cast: unknown model %v", model)
+	}
+}
+
+// SingleTreeBaseline broadcasts the demand over one pipelined BFS tree —
+// the throughput-1 baseline the corollaries compare against.
+func SingleTreeBaseline(g *graph.Graph, demand Demand, model sim.Model, seed uint64) (Result, error) {
+	tree := graph.TreeFromBFS(g, 0)
+	return Broadcast(g, []WeightedTree{{Tree: tree, Weight: 1}}, demand, model, seed)
+}
+
+// runVertexScheduler floods each message within its dominating tree's
+// member set; non-members overhear their dominating neighbors. One
+// transmission per node per round.
+func runVertexScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assign []int) (Result, error) {
+	n := g.N()
+	nMsgs := len(demand.Sources)
+	res := Result{TreeLoad: maxCount(assign, len(trees))}
+
+	member := make([]*ds.Bitset, len(trees)) // member[t].Has(v)
+	for ti, t := range trees {
+		member[ti] = ds.NewBitset(n)
+		for _, v := range t.Tree.Vertices() {
+			member[ti].Set(int(v))
+		}
+	}
+
+	has := newBitGrid(n, nMsgs)
+	queued := newBitGrid(n, nMsgs)
+	queues := make([][]int32, n)
+	vertexCong := make([]int, n)
+	edgeCong := make([]int, g.M())
+
+	// Injection: each source holds its message and transmits it once;
+	// member neighbors of the assigned tree pick it up and flood it
+	// within the member set (Appendix A's "give the message to a random
+	// tree": domination guarantees a member within one hop). Tree
+	// memberships are announced once, charged as a setup round.
+	res.SetupRounds = 1
+	enqueue := func(v, m int) {
+		if !queued.has(v, m) {
+			queued.set(v, m)
+			queues[v] = append(queues[v], int32(m))
+		}
+	}
+	for m, s := range demand.Sources {
+		has.set(s, m)
+		enqueue(s, m) // source transmits m exactly once (member or not)
+	}
+
+	remaining := n * nMsgs
+	for v := 0; v < n; v++ {
+		for m := 0; m < nMsgs; m++ {
+			if has.has(v, m) {
+				remaining--
+			}
+		}
+	}
+
+	maxRounds := 4 * (nMsgs + n) * (len(trees) + 2)
+	for round := 0; remaining > 0; round++ {
+		if round >= maxRounds {
+			return res, fmt.Errorf("cast: vertex scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
+		}
+		res.Rounds++
+		type tx struct {
+			v int
+			m int32
+		}
+		var sends []tx
+		for v := 0; v < n; v++ {
+			if len(queues[v]) == 0 {
+				continue
+			}
+			m := queues[v][0]
+			queues[v] = queues[v][1:]
+			sends = append(sends, tx{v, m})
+		}
+		for _, s := range sends {
+			vertexCong[s.v]++
+			ti := assign[s.m]
+			nbrs := g.Neighbors(s.v)
+			eids := g.IncidentEdges(s.v)
+			for i, w := range nbrs {
+				edgeCong[eids[i]]++
+				if !has.has(int(w), int(s.m)) {
+					has.set(int(w), int(s.m))
+					remaining--
+				}
+				// Members of the message's tree forward it (once each).
+				if member[ti].Has(int(w)) {
+					enqueue(int(w), int(s.m))
+				}
+			}
+		}
+	}
+	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
+	res.MaxVertexCongestion = maxOf(vertexCong)
+	res.MaxEdgeCongestion = maxOf(edgeCong)
+	return res, nil
+}
+
+// runEdgeScheduler pipelines each message along its spanning tree's
+// edges; one message per directed edge per round.
+func runEdgeScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assign []int) (Result, error) {
+	n := g.N()
+	nMsgs := len(demand.Sources)
+	res := Result{TreeLoad: maxCount(assign, len(trees))}
+
+	// treeAdj[t][v] = tree-neighbor list of v in tree t, as (neighbor,
+	// edge id) pairs.
+	type arc struct {
+		to  int32
+		eid int32
+	}
+	treeAdj := make([][][]arc, len(trees))
+	for ti, t := range trees {
+		adj := make([][]arc, n)
+		t.Tree.ForEachEdge(func(child, parent int) {
+			eid, ok := g.EdgeID(child, parent)
+			if !ok {
+				return
+			}
+			adj[child] = append(adj[child], arc{int32(parent), int32(eid)})
+			adj[parent] = append(adj[parent], arc{int32(child), int32(eid)})
+		})
+		treeAdj[ti] = adj
+	}
+
+	has := newBitGrid(n, nMsgs)
+	// Per directed edge FIFO of messages; directed index = 2*eid + dir.
+	queues := make([][]int32, 2*g.M())
+	edgeCong := make([]int, g.M())
+	vertexCong := make([]int, n)
+
+	dirIndex := func(eid int, tail int) int {
+		u, _ := g.Endpoints(eid)
+		if tail == u {
+			return 2 * eid
+		}
+		return 2*eid + 1
+	}
+	remaining := n * nMsgs
+	relay := func(v int, m int32, fromEdge int32) {
+		if !has.has(v, int(m)) {
+			has.set(v, int(m))
+			remaining--
+		}
+		for _, a := range treeAdj[assign[m]][v] {
+			if a.eid == fromEdge {
+				continue
+			}
+			queues[dirIndex(int(a.eid), v)] = append(queues[dirIndex(int(a.eid), v)], m)
+		}
+	}
+	for m, s := range demand.Sources {
+		relay(s, int32(m), -1)
+	}
+
+	maxRounds := 4 * (nMsgs + n) * (len(trees) + 2)
+	for round := 0; remaining > 0; round++ {
+		if round >= maxRounds {
+			return res, fmt.Errorf("cast: edge scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
+		}
+		res.Rounds++
+		type tx struct {
+			dir int
+			m   int32
+		}
+		var sends []tx
+		for dir := range queues {
+			if len(queues[dir]) == 0 {
+				continue
+			}
+			m := queues[dir][0]
+			queues[dir] = queues[dir][1:]
+			sends = append(sends, tx{dir, m})
+		}
+		for _, s := range sends {
+			eid := s.dir / 2
+			u, v := g.Endpoints(eid)
+			tail, head := u, v
+			if s.dir%2 == 1 {
+				tail, head = v, u
+			}
+			edgeCong[eid]++
+			vertexCong[tail]++
+			relay(head, s.m, int32(eid))
+		}
+	}
+	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
+	res.MaxVertexCongestion = maxOf(vertexCong)
+	res.MaxEdgeCongestion = maxOf(edgeCong)
+	return res, nil
+}
+
+// bitGrid is a dense rows x cols bit matrix.
+type bitGrid struct {
+	words []uint64
+	cols  int
+}
+
+func newBitGrid(rows, cols int) *bitGrid {
+	stride := (cols + 63) / 64
+	return &bitGrid{words: make([]uint64, rows*stride), cols: stride}
+}
+
+func (b *bitGrid) idx(r, c int) (int, uint64) {
+	return r*b.cols + c>>6, 1 << (uint(c) & 63)
+}
+
+func (b *bitGrid) has(r, c int) bool {
+	i, mask := b.idx(r, c)
+	return b.words[i]&mask != 0
+}
+
+func (b *bitGrid) set(r, c int) {
+	i, mask := b.idx(r, c)
+	b.words[i] |= mask
+}
+
+func maxCount(assign []int, k int) int {
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	return maxOf(counts)
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+// Package cds implements the paper's core contribution: fractional
+// dominating-tree (connected-dominating-set) packings of size
+// Ω(k/log n) for graphs with vertex connectivity k (Theorems 1.1/1.2).
+//
+// The centralized implementation follows Section 3 and Appendix C: a
+// virtual graph with L = Θ(log n) layers of three typed copies per real
+// node, a random jump-start on the first L/2 layers, and a recursive
+// class assignment in which type-2 virtual nodes are matched to
+// connected components through the bridging graph. Components are
+// maintained with a union-find over virtual nodes, giving the paper's
+// O(m log^2 n) step bound up to the union-find inverse-Ackermann factor.
+package cds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Tree is one weighted dominating tree of a packing.
+type Tree struct {
+	// Tree is the dominating tree in the host graph.
+	Tree *graph.Tree
+	// Weight is the tree's fractional weight x_tau in [0,1].
+	Weight float64
+	// Class is the class index this tree was built from.
+	Class int
+}
+
+// Packing is a fractional dominating tree packing (Section 2): trees
+// with weights such that the total weight through every vertex is at
+// most 1. Size() is the packing size Σ x_tau, the quantity Theorem 1.1
+// lower-bounds by Ω(k/log n).
+type Packing struct {
+	Trees []Tree
+	// Classes holds, for every class (valid or not), the set of real
+	// vertices that joined it; experiment code uses it for diagnostics
+	// and figure generation.
+	Classes [][]int32
+	// Stats records convergence diagnostics of the run that built this
+	// packing.
+	Stats Stats
+}
+
+// Size returns the packing size Σ x_tau.
+func (p *Packing) Size() float64 {
+	s := 0.0
+	for _, t := range p.Trees {
+		s += t.Weight
+	}
+	return s
+}
+
+// MaxVertexLoad returns the maximum over vertices of the total weight
+// of trees containing that vertex; a valid fractional packing has load
+// at most 1.
+func (p *Packing) MaxVertexLoad(n int) float64 {
+	load := make([]float64, n)
+	for _, t := range p.Trees {
+		for _, v := range t.Tree.Vertices() {
+			load[v] += t.Weight
+		}
+	}
+	max := 0.0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MaxTreeCount returns the maximum over vertices of the number of trees
+// containing that vertex (the paper's "each node is included in
+// O(log n) trees").
+func (p *Packing) MaxTreeCount(n int) int {
+	count := make([]int, n)
+	for _, t := range p.Trees {
+		for _, v := range t.Tree.Vertices() {
+			count[v]++
+		}
+	}
+	max := 0
+	for _, c := range count {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MaxTreeHeight returns the maximum tree height in the packing, which
+// bounds tree diameters within a factor 2 (Theorem 1.1's O~(n/k) claim).
+func (p *Packing) MaxTreeHeight() int {
+	max := 0
+	for _, t := range p.Trees {
+		if h := t.Tree.Height(); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// Validate checks the packing against the host graph: every tree must
+// be a genuine dominating tree of g, weights must lie in (0,1], and the
+// per-vertex fractional load must not exceed 1 (+eps).
+func (p *Packing) Validate(g *graph.Graph) error {
+	for i, t := range p.Trees {
+		if t.Weight <= 0 || t.Weight > 1 {
+			return fmt.Errorf("cds: tree %d has weight %f outside (0,1]", i, t.Weight)
+		}
+		if err := t.Tree.ValidateIn(g); err != nil {
+			return fmt.Errorf("cds: tree %d: %w", i, err)
+		}
+		if !t.Tree.IsDominatingIn(g) {
+			return fmt.Errorf("cds: tree %d does not dominate", i)
+		}
+	}
+	if load := p.MaxVertexLoad(g.N()); load > 1+1e-9 {
+		return fmt.Errorf("cds: max vertex load %f exceeds 1", load)
+	}
+	return nil
+}
+
+// Stats captures the run diagnostics the experiments report.
+type Stats struct {
+	// Guess is the connectivity guess k-hat the packing was built with.
+	Guess int
+	// Layers is L, the number of virtual layers used.
+	Layers int
+	// Classes is t, the number of classes attempted.
+	Classes int
+	// ValidClasses counts classes that ended up connected and dominating.
+	ValidClasses int
+	// ExcessComponents traces M_ell (total excess component count) after
+	// each layer from L/2 to L; the Fast Merger Lemma predicts geometric
+	// decay.
+	ExcessComponents []int
+	// MatchedPerLayer counts bridging-graph matches made at each layer.
+	MatchedPerLayer []int
+	// MaxLoad is the maximum number of distinct classes any real vertex
+	// belongs to (per-node load before fractional weighting).
+	MaxLoad int
+}
+
+// Options configures the packing algorithms. The zero value is usable;
+// Normalize fills defaults.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// ClassFactor sets t = max(1, floor(ClassFactor * k-hat)); the paper
+	// uses t = Θ(k) with a small constant. Default 0.5.
+	ClassFactor float64
+	// LayerFactor sets L = 2*ceil(LayerFactor * log2 n) (always even);
+	// the paper uses L = Θ(log n). Default 1.0, i.e. L = 2*ceil(log2 n).
+	LayerFactor float64
+	// JumpStartFraction is the fraction of layers assigned randomly
+	// up-front (paper: 1/2). Exposed for the A2 ablation. Default 0.5.
+	JumpStartFraction float64
+	// AllowPartialValidity lets Pack accept a guess when at least half
+	// of its classes are valid CDSs. The default (false) is the paper's
+	// test: every class must be a CDS.
+	AllowPartialValidity bool
+}
+
+func (o Options) normalize(n int) Options {
+	if o.ClassFactor <= 0 {
+		o.ClassFactor = 0.5
+	}
+	if o.LayerFactor <= 0 {
+		o.LayerFactor = 1.0
+	}
+	if o.JumpStartFraction <= 0 || o.JumpStartFraction >= 1 {
+		o.JumpStartFraction = 0.5
+	}
+	_ = n
+	return o
+}
+
+func layersFor(n int, o Options) int {
+	log2n := math.Log2(float64(n) + 2)
+	l := int(math.Ceil(o.LayerFactor * log2n))
+	if l < 2 {
+		l = 2
+	}
+	return 2 * l // even, so L/2 is an integer layer count
+}

@@ -1,0 +1,142 @@
+package cds
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// IndependentTrees converts vertex-disjoint dominating trees into vertex
+// independent spanning trees rooted at root, the Section 1.4.1
+// transformation: every non-member of a dominating tree is attached as a
+// leaf to one of its dominated neighbors (and the root is attached
+// likewise when absent). For any vertex v, the root-to-v paths in
+// different output trees then have internally disjoint vertex sets,
+// because all internal vertices of the i-th path lie in the i-th
+// (disjoint) dominating tree.
+//
+// This makes the packing an algorithmic poly-log approximation of the
+// Zehavi–Itai independent-tree conjecture, as Section 1.4.1 observes.
+func IndependentTrees(g *graph.Graph, disjoint []*graph.Tree, root int) ([]*graph.Tree, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("cds: root %d out of range", root)
+	}
+	out := make([]*graph.Tree, 0, len(disjoint))
+	for ti, dt := range disjoint {
+		if !dt.IsDominatingIn(g) {
+			return nil, fmt.Errorf("cds: tree %d does not dominate", ti)
+		}
+		parentOf := make(map[int]int, g.N())
+		dt.ForEachEdge(func(child, parent int) { parentOf[child] = parent })
+		// Attach every non-member as a leaf under a member neighbor.
+		for v := 0; v < g.N(); v++ {
+			if dt.Contains(v) || v == root {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if dt.Contains(int(w)) {
+					parentOf[v] = int(w)
+					break
+				}
+			}
+		}
+		// Re-root at the requested root. If the root is not a member,
+		// hang the old root's component under the root via one of the
+		// root's member neighbors: reverse the path root->...->oldRoot.
+		oldRoot := dt.Root()
+		if root != oldRoot {
+			if dt.Contains(root) {
+				reversePathToRoot(parentOf, root)
+			} else {
+				attach := -1
+				for _, w := range g.Neighbors(root) {
+					if dt.Contains(int(w)) {
+						attach = int(w)
+						break
+					}
+				}
+				if attach < 0 {
+					return nil, fmt.Errorf("cds: root %d has no neighbor in tree %d", root, ti)
+				}
+				reversePathToRoot(parentOf, attach)
+				parentOf[attach] = root
+			}
+			delete(parentOf, root)
+		}
+		tree, err := graph.NewTree(g.N(), root, parentOf)
+		if err != nil {
+			return nil, fmt.Errorf("cds: tree %d re-rooting: %w", ti, err)
+		}
+		if !tree.IsSpanning(g) {
+			return nil, fmt.Errorf("cds: tree %d does not span after leaf attachment", ti)
+		}
+		out = append(out, tree)
+	}
+	return out, nil
+}
+
+// reversePathToRoot makes newRoot the root of its parent forest by
+// reversing the parent pointers along newRoot's ancestor chain.
+func reversePathToRoot(parentOf map[int]int, newRoot int) {
+	prev := -1
+	cur := newRoot
+	for {
+		next, ok := parentOf[cur]
+		if prev >= 0 {
+			parentOf[cur] = prev
+		} else {
+			delete(parentOf, cur)
+		}
+		if !ok {
+			break
+		}
+		prev = cur
+		cur = next
+	}
+}
+
+// VerifyIndependent checks the independent-trees property: for every
+// vertex v, the root-to-v paths in the given spanning trees are pairwise
+// internally vertex-disjoint.
+func VerifyIndependent(g *graph.Graph, trees []*graph.Tree, root int) error {
+	paths := make([][]map[int]bool, len(trees)) // paths[t][v] = internal vertex set
+	for ti, tr := range trees {
+		if !tr.IsSpanning(g) {
+			return fmt.Errorf("cds: tree %d not spanning", ti)
+		}
+		if tr.Root() != root {
+			return fmt.Errorf("cds: tree %d rooted at %d, want %d", ti, tr.Root(), root)
+		}
+		paths[ti] = make([]map[int]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			set := map[int]bool{}
+			cur := v
+			for steps := 0; cur != root; steps++ {
+				if steps > g.N() {
+					return fmt.Errorf("cds: tree %d has a broken parent chain at %d", ti, v)
+				}
+				p, ok := tr.Parent(cur)
+				if !ok {
+					return fmt.Errorf("cds: tree %d: no parent for %d", ti, cur)
+				}
+				if cur != v {
+					set[cur] = true
+				}
+				cur = p
+			}
+			paths[ti][v] = set
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for a := 0; a < len(trees); a++ {
+			for b := a + 1; b < len(trees); b++ {
+				for w := range paths[a][v] {
+					if paths[b][v][w] {
+						return fmt.Errorf("cds: paths to %d in trees %d and %d share internal vertex %d", v, a, b, w)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

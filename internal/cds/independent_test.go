@@ -1,0 +1,91 @@
+package cds
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestIndependentTreesFromCompleteGraph(t *testing.T) {
+	g := graph.Complete(32)
+	p, err := Pack(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint := ExtractDisjoint(g, p)
+	if len(disjoint) < 2 {
+		t.Skipf("only %d disjoint trees extracted", len(disjoint))
+	}
+	trees, err := IndependentTrees(g, disjoint, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != len(disjoint) {
+		t.Fatalf("got %d independent trees from %d disjoint trees", len(trees), len(disjoint))
+	}
+	if err := VerifyIndependent(g, trees, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentTreesRootVariants(t *testing.T) {
+	g := graph.Complete(24)
+	p, err := Pack(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint := ExtractDisjoint(g, p)
+	if len(disjoint) < 2 {
+		t.Skipf("only %d disjoint trees", len(disjoint))
+	}
+	for _, root := range []int{0, 7, 23} {
+		trees, err := IndependentTrees(g, disjoint, root)
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if err := VerifyIndependent(g, trees, root); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+}
+
+func TestIndependentTreesValidation(t *testing.T) {
+	g := graph.Complete(5)
+	if _, err := IndependentTrees(g, nil, 9); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	// A non-dominating tree must be rejected.
+	leaf, err := graph.NewTree(5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg := graph.FromEdgeList(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if _, err := IndependentTrees(gg, []*graph.Tree{leaf}, 0); err == nil {
+		t.Fatal("non-dominating tree accepted")
+	}
+}
+
+func TestVerifyIndependentCatchesSharing(t *testing.T) {
+	// Two identical spanning paths share all internal vertices.
+	g := graph.Path(4)
+	tr := graph.TreeFromBFS(g, 0)
+	if err := VerifyIndependent(g, []*graph.Tree{tr, tr}, 0); err == nil {
+		t.Fatal("shared internal vertices not caught")
+	}
+}
+
+func TestReversePathToRoot(t *testing.T) {
+	// Chain 3->2->1->0 (root 0); re-root at 3.
+	parentOf := map[int]int{1: 0, 2: 1, 3: 2}
+	reversePathToRoot(parentOf, 3)
+	tr, err := graph.NewTree(4, 3, parentOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Parent(0); p != 1 {
+		t.Fatalf("parent of 0 = %d, want 1", p)
+	}
+	if p, _ := tr.Parent(2); p != 3 {
+		t.Fatalf("parent of 2 = %d, want 3", p)
+	}
+}

@@ -1,0 +1,345 @@
+package cds
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// PackWithGuess runs the CDS-packing construction of Section 3.1 with a
+// fixed connectivity guess kGuess (the paper's 2-approximation
+// assumption; Pack removes it). It always returns a Packing — possibly
+// with fewer valid trees than classes — so callers can test the outcome
+// as the paper's try-and-error loop does.
+func PackWithGuess(g *graph.Graph, kGuess int, opts Options) (*Packing, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("cds: empty graph")
+	}
+	if kGuess < 1 {
+		return nil, fmt.Errorf("cds: connectivity guess %d < 1", kGuess)
+	}
+	opts = opts.normalize(n)
+	layers := layersFor(n, opts)
+	classes := int(opts.ClassFactor * float64(kGuess))
+	if classes < 1 {
+		classes = 1
+	}
+	rng := ds.NewRand(opts.Seed ^ (uint64(kGuess) * 0x9e3779b97f4a7c15))
+	vg := newVirtualGraph(g, layers, classes)
+	stats := Stats{Guess: kGuess, Layers: layers, Classes: classes}
+
+	// Jump start: layers [0, half) of every type join random classes
+	// (Section 3.1's first step, giving domination w.h.p.).
+	half := int(opts.JumpStartFraction * float64(layers))
+	if half < 1 {
+		half = 1
+	}
+	if half > layers-1 {
+		half = layers - 1
+	}
+	for layer := 0; layer < half; layer++ {
+		for v := 0; v < n; v++ {
+			for typ := 0; typ < numTypes; typ++ {
+				vg.assign(v, layer, typ, int32(rng.IntN(classes)))
+			}
+		}
+	}
+	stats.ExcessComponents = append(stats.ExcessComponents, vg.excess())
+
+	// Recursive class assignment, one layer at a time.
+	for layer := half; layer < layers; layer++ {
+		matchedCount := assignLayer(g, vg, rng, layer, classes)
+		stats.MatchedPerLayer = append(stats.MatchedPerLayer, matchedCount)
+		stats.ExcessComponents = append(stats.ExcessComponents, vg.excess())
+	}
+
+	return buildPacking(g, vg, stats), nil
+}
+
+// assignLayer performs the paper's recursive class assignment for one
+// new layer: random classes for types 1 and 3, then the bridging-graph
+// maximal matching for type 2 (Appendix C data-structure version).
+// It returns the number of type-2 nodes matched through the bridging
+// graph.
+func assignLayer(g *graph.Graph, vg *virtualGraph, rng *rand.Rand, layer, classes int) int {
+	n := g.N()
+
+	// Types 1 and 3 join random classes (recorded, merged later).
+	for v := 0; v < n; v++ {
+		vg.setClass(v, layer, typeOne, int32(rng.IntN(classes)))
+		vg.setClass(v, layer, typeThree, int32(rng.IntN(classes)))
+	}
+
+	// Deactivation: a component already bridged by a type-1 new node of
+	// its own class needs no type-2 match this layer (Appendix B.2).
+	deactivated := make(map[int32]bool)
+	var scratch []int32
+	for v := 0; v < n; v++ {
+		class := vg.class(v, layer, typeOne)
+		scratch = vg.adjacentComponents(v, class, scratch[:0])
+		if len(scratch) >= 2 {
+			for _, root := range scratch {
+				deactivated[root] = true
+			}
+		}
+	}
+
+	// Suitability: for each type-3 new node, the components of its own
+	// class it is adjacent to (rule (c) of the bridging graph).
+	suitable := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		class := vg.class(v, layer, typeThree)
+		suitable[v] = vg.adjacentComponents(v, class, nil)
+	}
+
+	// Maximal matching over the bridging graph, greedily over type-2 new
+	// nodes in random order (Appendix C walks an arbitrary linked list;
+	// a random order is one such list and symmetrizes the analysis).
+	order := make([]int, n)
+	ds.Perm(rng, order)
+	matched := make(map[int32]bool)
+	matchedCount := 0
+	for _, v := range order {
+		class, comp := findMatch(g, vg, suitable, deactivated, matched, v, layer)
+		if class >= 0 {
+			vg.setClass(v, layer, typeTwo, class)
+			matched[comp] = true
+			matchedCount++
+		} else {
+			vg.setClass(v, layer, typeTwo, int32(rng.IntN(classes)))
+		}
+	}
+
+	// Merge the completed layer into the component structure.
+	for v := 0; v < n; v++ {
+		for typ := 0; typ < numTypes; typ++ {
+			vg.merge(v, layer, typ)
+		}
+	}
+	return matchedCount
+}
+
+// findMatch looks for a bridging-graph neighbor of type-2 node (v,
+// layer): an active unmatched component C of some class i such that v
+// has a virtual neighbor in C and a type-3 new neighbor of class i that
+// is adjacent to a component of class i other than C. It returns the
+// matched class and component root, or (-1, -1).
+func findMatch(g *graph.Graph, vg *virtualGraph, suitable [][]int32, deactivated, matched map[int32]bool, v, layer int) (int32, int32) {
+	// pm[class] = set of component roots reachable via type-3 new
+	// neighbors of that class (the potential-matches array of App. C).
+	pm := make(map[int32][]int32)
+	addSuit := func(u int) {
+		class := vg.class(u, layer, typeThree)
+		for _, root := range suitable[u] {
+			dup := false
+			for _, have := range pm[class] {
+				if have == root {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				pm[class] = append(pm[class], root)
+			}
+		}
+	}
+	addSuit(v)
+	for _, w := range g.Neighbors(v) {
+		addSuit(int(w))
+	}
+
+	// Scan candidate components adjacent to v, class by class.
+	tryClass := func(u int) (int32, int32) {
+		for class, rep := range vg.rep[u] {
+			root := int32(vg.uf.Find(int(rep)))
+			if matched[root] || deactivated[root] {
+				continue
+			}
+			// Bridging rule (c): some suitable component differs from root.
+			set := pm[class]
+			ok := len(set) > 1 || (len(set) == 1 && set[0] != root)
+			if ok {
+				return class, root
+			}
+		}
+		return -1, -1
+	}
+	if class, root := tryClass(v); class >= 0 {
+		return class, root
+	}
+	for _, w := range g.Neighbors(v) {
+		if class, root := tryClass(int(w)); class >= 0 {
+			return class, root
+		}
+	}
+	return -1, -1
+}
+
+// buildPacking converts the class assignment into dominating trees: the
+// CDS-to-tree step of Section 3.1 (a 0/1-weight MST, which reduces to a
+// per-class spanning tree of the induced subgraph), then uniform
+// fractional weights 1/maxLoad so that per-vertex load is at most 1.
+func buildPacking(g *graph.Graph, vg *virtualGraph, stats Stats) *Packing {
+	classes := vg.realClasses()
+	inSet := ds.NewBitset(g.N())
+	var trees []Tree
+	for class, members := range classes {
+		if len(members) == 0 {
+			continue
+		}
+		inSet.Reset()
+		for _, v := range members {
+			inSet.Set(int(v))
+		}
+		tree, err := graph.SpanningTreeOfSubset(g, inSet.Has)
+		if err != nil {
+			continue // class not connected: invalid
+		}
+		if !tree.IsDominatingIn(g) {
+			continue
+		}
+		trees = append(trees, Tree{Tree: tree, Weight: 1, Class: class})
+	}
+	stats.ValidClasses = len(trees)
+	stats.MaxLoad = FinalizeWeights(trees, g.N())
+	return &Packing{Trees: trees, Classes: classes, Stats: stats}
+}
+
+// FinalizeWeights assigns fractional weights to the valid trees: first the
+// safe per-tree weight 1/max_{v in tau} count(v) (which keeps every
+// vertex load at most 1, since each of the count(v) trees through v
+// contributes at most 1/count(v)), then greedy augmentation passes that
+// raise each tree's weight by the minimum residual slack along it.
+// It returns the maximum per-vertex tree count. The distributed packer
+// (internal/cdsdist) reuses it on the trees it extracts.
+func FinalizeWeights(trees []Tree, n int) int {
+	count := make([]int, n)
+	for _, t := range trees {
+		for _, v := range t.Tree.Vertices() {
+			count[v]++
+		}
+	}
+	maxCount := 0
+	for _, c := range count {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	load := make([]float64, n)
+	for i := range trees {
+		mc := 1
+		for _, v := range trees[i].Tree.Vertices() {
+			if count[v] > mc {
+				mc = count[v]
+			}
+		}
+		trees[i].Weight = 1 / float64(mc)
+		for _, v := range trees[i].Tree.Vertices() {
+			load[v] += trees[i].Weight
+		}
+	}
+	const augmentPasses = 3
+	for pass := 0; pass < augmentPasses; pass++ {
+		for i := range trees {
+			slack := 1 - trees[i].Weight
+			for _, v := range trees[i].Tree.Vertices() {
+				if s := 1 - load[v]; s < slack {
+					slack = s
+				}
+			}
+			if slack <= 1e-12 {
+				continue
+			}
+			trees[i].Weight += slack
+			for _, v := range trees[i].Tree.Vertices() {
+				load[v] += slack
+			}
+		}
+	}
+	return maxCount
+}
+
+// Pack removes the known-connectivity assumption with the paper's
+// try-and-error loop (Remark 3.1): it tries exponentially decreasing
+// guesses k-hat = n/2^j, tests each outcome (domination and
+// connectivity of every class), and returns the passing packing of
+// maximum size. Around the correct guess the size is Ω(k/log n) w.h.p.
+// while no valid fractional dominating-tree packing can exceed k, so
+// the best passing size is the Corollary 1.7 estimate. For a connected
+// graph the loop always terminates with at least the single-class
+// packing (the whole vertex set).
+func Pack(g *graph.Graph, opts Options) (*Packing, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("cds: empty graph")
+	}
+	opts = opts.normalize(n)
+	var best *Packing
+	for guess := n; guess >= 1; guess /= 2 {
+		p, err := PackWithGuess(g, guess, opts)
+		if err != nil {
+			return nil, err
+		}
+		if packingPasses(p, opts) && (best == nil || p.Size() > best.Size()) {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("cds: no guess produced a valid packing (graph disconnected?)")
+	}
+	return best, nil
+}
+
+func packingPasses(p *Packing, opts Options) bool {
+	if opts.AllowPartialValidity {
+		return p.Stats.ValidClasses*2 >= p.Stats.Classes && p.Stats.ValidClasses > 0
+	}
+	return p.Stats.ValidClasses == p.Stats.Classes
+}
+
+// ApproxVertexConnectivity returns the packing-size estimate of the
+// vertex connectivity (Corollary 1.7): the returned value is always at
+// most k (any vertex cut meets every dominating tree) and, w.h.p., at
+// least Ω(k/log n), so k is approximated within an O(log n) factor.
+func ApproxVertexConnectivity(g *graph.Graph, opts Options) (float64, *Packing, error) {
+	p, err := Pack(g, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p.Size(), p, nil
+}
+
+// ExtractDisjoint greedily derives an integral, vertex-disjoint
+// dominating-tree packing from a fractional one: classes are scanned in
+// packing order, and a class is kept if its members minus all
+// previously used vertices still induce a connected dominating set.
+// This replaces the random-layering adaptation of [12, Theorem 1.2]
+// (see DESIGN.md substitutions); the returned trees are guaranteed
+// vertex-disjoint dominating trees.
+func ExtractDisjoint(g *graph.Graph, p *Packing) []*graph.Tree {
+	used := ds.NewBitset(g.N())
+	member := ds.NewBitset(g.N())
+	var out []*graph.Tree
+	for _, t := range p.Trees {
+		member.Reset()
+		for _, u := range t.Tree.Vertices() {
+			member.Set(int(u))
+		}
+		free := func(v int) bool { return member.Has(v) && !used.Has(v) }
+		tree, err := graph.SpanningTreeOfSubset(g, free)
+		if err != nil {
+			continue
+		}
+		if !tree.IsDominatingIn(g) {
+			continue
+		}
+		out = append(out, tree)
+		for _, v := range tree.Vertices() {
+			used.Set(int(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package cds
+
+import (
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// Virtual node types, following the paper's numbering (Section 3.1).
+const (
+	typeOne   = 0 // paper type-1: directly bridges two components
+	typeTwo   = 1 // paper type-2: assigned via the bridging-graph matching
+	typeThree = 2 // paper type-3: scouts components for type-2 neighbors
+	numTypes  = 3
+)
+
+// virtualGraph is the bookkeeping for the virtual graph G~: each real
+// node simulates 3L virtual nodes (one per layer and type); two virtual
+// nodes are adjacent iff their real nodes are equal or adjacent in G.
+// Connected components of each class are tracked by a union-find over
+// virtual node ids, with one representative virtual node per (real
+// node, class) so that merging a new virtual node costs O(deg) finds.
+type virtualGraph struct {
+	g       *graph.Graph
+	n       int
+	layers  int
+	classes int
+	classOf []int32 // per vid; -1 unassigned
+	uf      *ds.UnionFind
+	rep     []map[int32]int32 // rep[v][class] = representative vid
+	comps   []int32           // comps[class] = live component count
+}
+
+func newVirtualGraph(g *graph.Graph, layers, classes int) *virtualGraph {
+	n := g.N()
+	vg := &virtualGraph{
+		g:       g,
+		n:       n,
+		layers:  layers,
+		classes: classes,
+		classOf: make([]int32, n*layers*numTypes),
+		uf:      ds.NewUnionFind(n * layers * numTypes),
+		rep:     make([]map[int32]int32, n),
+		comps:   make([]int32, classes),
+	}
+	for i := range vg.classOf {
+		vg.classOf[i] = -1
+	}
+	for v := range vg.rep {
+		vg.rep[v] = make(map[int32]int32, 8)
+	}
+	return vg
+}
+
+// vid maps (real node, layer, type) to a virtual node id.
+func (vg *virtualGraph) vid(v, layer, typ int) int32 {
+	return int32((v*vg.layers+layer)*numTypes + typ)
+}
+
+// class returns the class of virtual node (v,layer,typ), or -1.
+func (vg *virtualGraph) class(v, layer, typ int) int32 {
+	return vg.classOf[vg.vid(v, layer, typ)]
+}
+
+// setClass records a class assignment without merging, used while a
+// layer's matching still needs the previous layers' component structure.
+func (vg *virtualGraph) setClass(v, layer, typ int, class int32) {
+	vg.classOf[vg.vid(v, layer, typ)] = class
+}
+
+// merge folds an assigned virtual node into its class's component
+// structure, unioning it with the class representatives at its own real
+// node and at every real neighbor.
+func (vg *virtualGraph) merge(v, layer, typ int) {
+	id := vg.vid(v, layer, typ)
+	class := vg.classOf[id]
+	if class < 0 {
+		return
+	}
+	vg.comps[class]++
+	if r, ok := vg.rep[v][class]; ok {
+		if vg.uf.Union(int(id), int(r)) {
+			vg.comps[class]--
+		}
+	} else {
+		vg.rep[v][class] = id
+	}
+	for _, w := range vg.g.Neighbors(v) {
+		if r, ok := vg.rep[w][class]; ok {
+			if vg.uf.Union(int(id), int(r)) {
+				vg.comps[class]--
+			}
+		}
+	}
+}
+
+// assign is setClass followed by merge, used during the jump start.
+func (vg *virtualGraph) assign(v, layer, typ int, class int32) {
+	vg.setClass(v, layer, typ, class)
+	vg.merge(v, layer, typ)
+}
+
+// adjacentComponents appends to dst the distinct component roots of the
+// given class adjacent (in the virtual graph) to real node v: the class
+// components containing a virtual node of v itself or of a real
+// neighbor of v.
+func (vg *virtualGraph) adjacentComponents(v int, class int32, dst []int32) []int32 {
+	add := func(rv map[int32]int32) {
+		r, ok := rv[class]
+		if !ok {
+			return
+		}
+		root := int32(vg.uf.Find(int(r)))
+		for _, have := range dst {
+			if have == root {
+				return
+			}
+		}
+		dst = append(dst, root)
+	}
+	add(vg.rep[v])
+	for _, w := range vg.g.Neighbors(v) {
+		add(vg.rep[w])
+	}
+	return dst
+}
+
+// excess returns M = Σ_i max(0, N_i - 1), the paper's count of excess
+// components over all classes.
+func (vg *virtualGraph) excess() int {
+	m := 0
+	for _, c := range vg.comps {
+		if c > 1 {
+			m += int(c) - 1
+		}
+	}
+	return m
+}
+
+// realClasses projects classes onto real nodes: class i contains real
+// node v iff some virtual node of v joined class i (rep keys record
+// exactly the classes each real node participates in).
+func (vg *virtualGraph) realClasses() [][]int32 {
+	out := make([][]int32, vg.classes)
+	for v := 0; v < vg.n; v++ {
+		for class := range vg.rep[v] {
+			out[class] = append(out[class], int32(v))
+		}
+	}
+	for class := range out {
+		sortInt32s(out[class])
+	}
+	return out
+}
+
+func sortInt32s(a []int32) {
+	// Insertion sort is fine: class membership lists are built in near-
+	// sorted order (ascending v), so this is effectively linear.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// maxLoad returns the maximum over real nodes of the number of distinct
+// classes the node belongs to.
+func (vg *virtualGraph) maxLoad() int {
+	max := 0
+	for v := 0; v < vg.n; v++ {
+		if l := len(vg.rep[v]); l > max {
+			max = l
+		}
+	}
+	return max
+}

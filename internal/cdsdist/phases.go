@@ -1,0 +1,814 @@
+package cdsdist
+
+import (
+	"fmt"
+
+	"repro/internal/cds"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// fieldBitsFor sizes the per-field message budget: node ids, class ids,
+// and the 4·log2(n)-bit random proposal values (Section 2's random-id
+// convention) must all fit — still O(log n) bits.
+func (r *run) fieldBitsFor() int {
+	b := 0
+	for v := 1; v < r.n+2 || v < r.classes+2; v <<= 1 {
+		b++
+	}
+	return 8 + 4*b + 4
+}
+
+// proposalRange returns the domain of random proposal values: n^4, the
+// paper's 4·log n random-bits convention, distinct w.h.p.
+func proposalRange(n int) int64 {
+	v := int64(n) + 2
+	return v * v * v * v
+}
+
+func (r *run) runPhase(procs []sim.Process, seed uint64, maxRounds int) error {
+	eng, err := sim.NewEngine(r.g, sim.VCongest, procs, seed, sim.WithMaxFieldBits(r.fieldBitsFor()))
+	if err != nil {
+		return err
+	}
+	if err := eng.RunPhase(maxRounds); err != nil {
+		return err
+	}
+	addMeter(&r.meter, eng.Meter())
+	// Each phase boundary models a termination-detection convergecast
+	// over the preprocessing BFS tree.
+	r.meter.Charge(r.diam)
+	return nil
+}
+
+// --- Phase A: component identification --------------------------------
+
+// compFloodNode floods, per class this node belongs to, the minimum real
+// node id within the class component (Theorem B.2 restricted flooding:
+// class-c messages only merge across edges whose both endpoints carry
+// class c, which is exactly class-c component adjacency).
+type compFloodNode struct {
+	classes map[int32]bool
+	label   map[int32]int64
+	dirty   map[int32]bool
+	started bool
+}
+
+func (p *compFloodNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	if !p.started {
+		p.started = true
+		for c := range p.classes {
+			p.label[c] = int64(ctx.ID())
+			p.dirty[c] = true
+		}
+	}
+	for _, d := range inbox {
+		if d.Msg.Kind != kindComp {
+			continue
+		}
+		c := int32(d.Msg.F[0])
+		if !p.classes[c] {
+			continue
+		}
+		if d.Msg.F[1] < p.label[c] {
+			p.label[c] = d.Msg.F[1]
+			p.dirty[c] = true
+		}
+	}
+	sent := false
+	for c := range p.dirty {
+		ctx.Broadcast(sim.Msg(kindComp, int64(c), p.label[c]))
+		delete(p.dirty, c)
+		sent = true
+	}
+	if sent {
+		return sim.Active
+	}
+	return sim.Done
+}
+
+// identifyComponents refreshes r.compID for the current old-node sets.
+func (r *run) identifyComponents() error {
+	procs := make([]sim.Process, r.n)
+	nodes := make([]*compFloodNode, r.n)
+	for v := 0; v < r.n; v++ {
+		nodes[v] = &compFloodNode{
+			classes: r.hasOld[v],
+			label:   make(map[int32]int64, len(r.hasOld[v])),
+			dirty:   make(map[int32]bool, len(r.hasOld[v])),
+		}
+		procs[v] = nodes[v]
+	}
+	if err := r.runPhase(procs, r.opts.Seed^0xc0ffee, 4*r.n+8); err != nil {
+		return fmt.Errorf("component identification: %w", err)
+	}
+	for v := 0; v < r.n; v++ {
+		r.compID[v] = nodes[v].label
+	}
+	return nil
+}
+
+// --- Phase B: deactivation and bridging lists --------------------------
+
+// candidate is one bridging-graph neighbor of a type-2 node: an active
+// component, identified by (class, compID).
+type candidate struct {
+	class  int32
+	compID int64
+}
+
+// annNode broadcasts this node's (class, compID) pairs; type-1 new nodes
+// that see two components of their class reply with a connector message;
+// old nodes hearing a connector for their (class, component) mark it
+// deactivated locally (flooded component-wide in the next step).
+type annNode struct {
+	comps      map[int32]int64 // old-node components at this node
+	type1Class int32
+	round      int
+	deact      map[int32]bool // class -> component deactivated locally
+}
+
+func (p *annNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	switch p.round {
+	case 0:
+		p.round++
+		sent := false
+		for c, id := range p.comps {
+			ctx.Broadcast(sim.Msg(kindCompAnn, int64(c), id, 1))
+			sent = true
+		}
+		if sent {
+			return sim.Active
+		}
+	case 1:
+		p.round++
+		// Type-1 role: collect components of own class; if >= 2, shout
+		// the connector symbol for that class.
+		seen := map[int64]bool{}
+		if id, ok := p.comps[p.type1Class]; ok {
+			seen[id] = true
+		}
+		for _, d := range inbox {
+			if d.Msg.Kind == kindCompAnn && int32(d.Msg.F[0]) == p.type1Class {
+				seen[d.Msg.F[1]] = true
+			}
+		}
+		if len(seen) >= 2 {
+			ctx.Broadcast(sim.Msg(kindDeact, int64(p.type1Class)))
+			return sim.Active
+		}
+	case 2:
+		p.round++
+		for _, d := range inbox {
+			if d.Msg.Kind != kindDeact {
+				continue
+			}
+			c := int32(d.Msg.F[0])
+			if _, ok := p.comps[c]; ok {
+				p.deact[c] = true
+			}
+		}
+	}
+	return sim.Done
+}
+
+// deactFloodNode floods the deactivation bit component-wide (restricted
+// flooding again: class-c adjacency is component adjacency).
+type deactFloodNode struct {
+	comps   map[int32]int64
+	deact   map[int32]bool
+	dirty   map[int32]bool
+	started bool
+}
+
+func (p *deactFloodNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	if !p.started {
+		p.started = true
+		for c := range p.deact {
+			p.dirty[c] = true
+		}
+	}
+	for _, d := range inbox {
+		if d.Msg.Kind != kindDeact {
+			continue
+		}
+		c := int32(d.Msg.F[0])
+		if _, ok := p.comps[c]; ok && !p.deact[c] {
+			p.deact[c] = true
+			p.dirty[c] = true
+		}
+	}
+	sent := false
+	for c := range p.dirty {
+		ctx.Broadcast(sim.Msg(kindDeact, int64(c)))
+		delete(p.dirty, c)
+		sent = true
+	}
+	if sent {
+		return sim.Active
+	}
+	return sim.Done
+}
+
+// scoutNode implements Appendix B.2's bridging-graph construction: old
+// nodes re-announce (class, compID, activity); each type-3 new node w
+// forms its message m_w; each type-2 new node v assembles its neighbor
+// list List_v from active announced components and type-3 messages.
+type scoutNode struct {
+	comps      map[int32]int64
+	active     map[int32]bool
+	type3Class int32
+	type2Class int32 // unused by the protocol; kept for symmetry
+	round      int
+
+	// scratch
+	seenComp  map[int64]bool
+	annHeard  []candidate // active components heard (class, compID)
+	scoutMsgs []sim.Message
+	list      []candidate
+}
+
+func (p *scoutNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	switch p.round {
+	case 0:
+		p.round++
+		sent := false
+		for c, id := range p.comps {
+			act := int64(0)
+			if p.active[c] {
+				act = 1
+			}
+			ctx.Broadcast(sim.Msg(kindCompAnn, int64(c), id, act))
+			sent = true
+		}
+		if sent {
+			return sim.Active
+		}
+	case 1:
+		p.round++
+		// Gather announcements; type-3 role constructs m_w.
+		p.seenComp = map[int64]bool{}
+		if id, ok := p.comps[p.type3Class]; ok {
+			p.seenComp[id] = true
+		}
+		for _, d := range inbox {
+			if d.Msg.Kind != kindCompAnn {
+				continue
+			}
+			c := int32(d.Msg.F[0])
+			if d.Msg.F[2] == 1 {
+				p.annHeard = append(p.annHeard, candidate{class: c, compID: d.Msg.F[1]})
+			}
+			if c == p.type3Class {
+				p.seenComp[d.Msg.F[1]] = true
+			}
+		}
+		// Also count own active components as heard (virtual adjacency
+		// within the same real node).
+		for c, id := range p.comps {
+			if p.active[c] {
+				p.annHeard = append(p.annHeard, candidate{class: c, compID: id})
+			}
+		}
+		switch {
+		case len(p.seenComp) == 0:
+			// empty m_w
+		case len(p.seenComp) == 1:
+			var only int64
+			for id := range p.seenComp {
+				only = id
+			}
+			ctx.Broadcast(sim.Msg(kindScout, int64(p.type3Class), only))
+			return sim.Active
+		default:
+			ctx.Broadcast(sim.Msg(kindScout, int64(p.type3Class), connectorSymbol))
+			return sim.Active
+		}
+	case 2:
+		p.round++
+		// Type-2 role: build List_v per Appendix B.2.
+		scouts := make(map[int32][]int64)
+		add := func(c int32, id int64) {
+			for _, have := range scouts[c] {
+				if have == id {
+					return
+				}
+			}
+			scouts[c] = append(scouts[c], id)
+		}
+		for _, d := range inbox {
+			if d.Msg.Kind == kindScout {
+				add(int32(d.Msg.F[0]), d.Msg.F[1])
+			}
+		}
+		// A component C of class i joins List_v iff v heard an active
+		// announcement of C and some scout message for class i names a
+		// component != C (or the connector symbol).
+		seen := map[candidate]bool{}
+		for _, cand := range p.annHeard {
+			if seen[cand] {
+				continue
+			}
+			seen[cand] = true
+			for _, id := range scouts[cand.class] {
+				if id == connectorSymbol || id != cand.compID {
+					p.list = append(p.list, cand)
+					break
+				}
+			}
+		}
+	}
+	return sim.Done
+}
+
+// buildBridging runs phases B of a layer and returns each type-2 node's
+// bridging-graph neighbor list.
+func (r *run) buildBridging(layer int) ([][]candidate, error) {
+	// B.1: announcements + type-1 connector detection.
+	anns := make([]*annNode, r.n)
+	procs := make([]sim.Process, r.n)
+	for v := 0; v < r.n; v++ {
+		anns[v] = &annNode{
+			comps:      r.compID[v],
+			type1Class: r.classOf[v][layer*3+0],
+			deact:      make(map[int32]bool),
+		}
+		procs[v] = anns[v]
+	}
+	if err := r.runPhase(procs, r.opts.Seed^uint64(layer)<<8^0xdead, 8); err != nil {
+		return nil, fmt.Errorf("deactivation detection: %w", err)
+	}
+
+	// B.2: flood deactivation component-wide.
+	floods := make([]*deactFloodNode, r.n)
+	for v := 0; v < r.n; v++ {
+		floods[v] = &deactFloodNode{
+			comps: r.compID[v],
+			deact: anns[v].deact,
+			dirty: make(map[int32]bool),
+		}
+		procs[v] = floods[v]
+	}
+	if err := r.runPhase(procs, r.opts.Seed^uint64(layer)<<8^0xbeef, 4*r.n+8); err != nil {
+		return nil, fmt.Errorf("deactivation flood: %w", err)
+	}
+	for v := 0; v < r.n; v++ {
+		r.active[v] = make(map[int32]bool, len(r.compID[v]))
+		for c := range r.compID[v] {
+			r.active[v][c] = !floods[v].deact[c]
+		}
+	}
+
+	// B.3: re-announce with activity; scouts; type-2 lists.
+	scouts := make([]*scoutNode, r.n)
+	for v := 0; v < r.n; v++ {
+		scouts[v] = &scoutNode{
+			comps:      r.compID[v],
+			active:     r.active[v],
+			type3Class: r.classOf[v][layer*3+2],
+			type2Class: r.classOf[v][layer*3+1],
+		}
+		procs[v] = scouts[v]
+	}
+	if err := r.runPhase(procs, r.opts.Seed^uint64(layer)<<8^0xfeed, 8); err != nil {
+		return nil, fmt.Errorf("bridging construction: %w", err)
+	}
+	lists := make([][]candidate, r.n)
+	for v := 0; v < r.n; v++ {
+		lists[v] = scouts[v].list
+	}
+	return lists, nil
+}
+
+// --- Phase C: matching stages ------------------------------------------
+
+// proposeNode: stage round 1 — unmatched type-2 nodes propose to the
+// listed component with the largest random value; old nodes record the
+// best proposal they hear for each of their components.
+type proposeNode struct {
+	comps    map[int32]int64
+	blocked  map[int32]bool // classes whose component here already matched
+	list     []candidate    // nil when matched or empty
+	proposal candidate      // what this node proposed to
+	propVal  int64
+	proposed bool
+	round    int
+	// best proposal per class heard by this old node: (value, proposer).
+	best map[int32][2]int64
+}
+
+func (p *proposeNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	switch p.round {
+	case 0:
+		p.round++
+		p.best = make(map[int32][2]int64)
+		if len(p.list) > 0 {
+			bestIdx, bestVal := 0, int64(-1)
+			span := proposalRange(ctx.N())
+			for i := range p.list {
+				v := ctx.Rand().Int64N(span) // 4·log n random bits
+				if v > bestVal {
+					bestVal, bestIdx = v, i
+				}
+			}
+			p.proposal = p.list[bestIdx]
+			p.propVal = bestVal
+			p.proposed = true
+			ctx.Broadcast(sim.Msg(kindPropose, int64(p.proposal.class), p.proposal.compID, bestVal))
+			return sim.Active
+		}
+	case 1:
+		p.round++
+		for _, d := range inbox {
+			if d.Msg.Kind != kindPropose {
+				continue
+			}
+			c := int32(d.Msg.F[0])
+			if p.blocked[c] {
+				continue // component already matched in an earlier stage
+			}
+			if id, ok := p.comps[c]; !ok || id != d.Msg.F[1] {
+				continue // proposal for a component this node is not in
+			}
+			val, from := d.Msg.F[2], int64(d.From)
+			cur, ok := p.best[c]
+			if !ok || val > cur[0] || (val == cur[0] && from > cur[1]) {
+				p.best[c] = [2]int64{val, from}
+			}
+		}
+	}
+	return sim.Done
+}
+
+// acceptNode: after the component-wide max flood, old nodes broadcast
+// the accepted proposal; type-2 nodes learn whether they were matched
+// and prune their lists.
+type acceptNode struct {
+	comps     map[int32]int64
+	accepted  map[int32][2]int64 // class -> (value, proposer), flood result
+	proposed  bool
+	proposal  candidate
+	propVal   int64
+	round     int
+	matched   bool
+	lost      map[candidate]bool // components that accepted someone else
+	announced bool
+}
+
+func (p *acceptNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	switch p.round {
+	case 0:
+		p.round++
+		sent := false
+		for c, best := range p.accepted {
+			if best[1] < 0 {
+				continue // no proposal reached this component
+			}
+			// Self-acceptance: a proposer that is itself a member of the
+			// winning component never hears its own broadcast.
+			if p.proposed && p.proposal.class == c && p.proposal.compID == p.comps[c] &&
+				best[0] == p.propVal && best[1] == int64(ctx.ID()) {
+				p.matched = true
+			}
+			ctx.Broadcast(sim.Msg(kindAccept, int64(c), p.comps[c], best[0], best[1]))
+			sent = true
+		}
+		if sent {
+			return sim.Active
+		}
+	case 1:
+		p.round++
+		p.lost = make(map[candidate]bool)
+		for _, d := range inbox {
+			if d.Msg.Kind != kindAccept {
+				continue
+			}
+			cand := candidate{class: int32(d.Msg.F[0]), compID: d.Msg.F[1]}
+			val, winner := d.Msg.F[2], d.Msg.F[3]
+			if p.proposed && cand == p.proposal && val == p.propVal && winner == int64(ctx.ID()) {
+				p.matched = true
+			} else {
+				p.lost[cand] = true
+			}
+		}
+	}
+	return sim.Done
+}
+
+// matchStages runs the O(log n) Luby-style stages of Appendix B.3 and
+// assigns classes to the type-2 virtual nodes of the layer. Returns the
+// number matched through the bridging graph.
+func (r *run) matchStages(layer int, lists [][]candidate) (int, error) {
+	stages := 1
+	for s := 1; s < r.n; s <<= 1 {
+		stages++
+	}
+	matchedCount := 0
+	assigned := make([]bool, r.n)
+	procs := make([]sim.Process, r.n)
+	blocked := make([]map[int32]bool, r.n)
+	for v := range blocked {
+		blocked[v] = make(map[int32]bool)
+	}
+
+	for stage := 0; stage < stages; stage++ {
+		anyList := false
+		for v := 0; v < r.n; v++ {
+			if !assigned[v] && len(lists[v]) > 0 {
+				anyList = true
+				break
+			}
+		}
+		if !anyList {
+			break
+		}
+		// Stage round 1-2: propose and collect.
+		props := make([]*proposeNode, r.n)
+		for v := 0; v < r.n; v++ {
+			var list []candidate
+			if !assigned[v] {
+				list = lists[v]
+			}
+			props[v] = &proposeNode{comps: r.compID[v], blocked: blocked[v], list: list}
+			procs[v] = props[v]
+		}
+		seed := r.opts.Seed ^ uint64(layer*131+stage)<<10 ^ 0xabcd
+		if err := r.runPhase(procs, seed, 8); err != nil {
+			return matchedCount, fmt.Errorf("propose stage: %w", err)
+		}
+
+		// Component-wide max of proposals per class, via restricted
+		// flooding (minimize (-value, -proposer)).
+		accepted, err := r.floodBestProposal(props, seed^0x1111)
+		if err != nil {
+			return matchedCount, err
+		}
+
+		// Accept round.
+		accs := make([]*acceptNode, r.n)
+		for v := 0; v < r.n; v++ {
+			accs[v] = &acceptNode{
+				comps:    r.compID[v],
+				accepted: accepted[v],
+				proposed: props[v].proposed,
+				proposal: props[v].proposal,
+				propVal:  props[v].propVal,
+			}
+			procs[v] = accs[v]
+		}
+		if err := r.runPhase(procs, seed^0x2222, 8); err != nil {
+			return matchedCount, fmt.Errorf("accept stage: %w", err)
+		}
+
+		for v := 0; v < r.n; v++ {
+			// Members of components that accepted a proposal mark them
+			// matched for all later stages.
+			for c, best := range accepted[v] {
+				if best[1] >= 0 {
+					blocked[v][c] = true
+				}
+			}
+			if assigned[v] {
+				continue
+			}
+			if accs[v].matched {
+				r.classOf[v][layer*3+1] = props[v].proposal.class
+				assigned[v] = true
+				matchedCount++
+				continue
+			}
+			// Prune components that accepted other proposals.
+			if len(accs[v].lost) > 0 {
+				pruned := lists[v][:0]
+				for _, cand := range lists[v] {
+					if !accs[v].lost[cand] {
+						pruned = append(pruned, cand)
+					}
+				}
+				lists[v] = pruned
+			}
+		}
+	}
+
+	// Unmatched type-2 nodes join random classes.
+	for v := 0; v < r.n; v++ {
+		if !assigned[v] {
+			r.classOf[v][layer*3+1] = int32(r.rngs[v].IntN(r.classes))
+		}
+	}
+	return matchedCount, nil
+}
+
+// floodBestProposal spreads each component's best proposal to all its
+// members (the Theorem B.2 aggregation of Appendix B.3).
+type proposalFloodNode struct {
+	comps   map[int32]int64
+	best    map[int32][2]int64
+	dirty   map[int32]bool
+	started bool
+}
+
+func (p *proposalFloodNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	if !p.started {
+		p.started = true
+		for c := range p.best {
+			p.dirty[c] = true
+		}
+	}
+	for _, d := range inbox {
+		if d.Msg.Kind != kindPropose {
+			continue
+		}
+		c := int32(d.Msg.F[0])
+		if _, ok := p.comps[c]; !ok {
+			continue
+		}
+		val, who := d.Msg.F[1], d.Msg.F[2]
+		cur, ok := p.best[c]
+		if !ok || val > cur[0] || (val == cur[0] && who > cur[1]) {
+			p.best[c] = [2]int64{val, who}
+			p.dirty[c] = true
+		}
+	}
+	sent := false
+	for c := range p.dirty {
+		b := p.best[c]
+		ctx.Broadcast(sim.Msg(kindPropose, int64(c), b[0], b[1]))
+		delete(p.dirty, c)
+		sent = true
+	}
+	if sent {
+		return sim.Active
+	}
+	return sim.Done
+}
+
+func (r *run) floodBestProposal(props []*proposeNode, seed uint64) ([]map[int32][2]int64, error) {
+	nodes := make([]*proposalFloodNode, r.n)
+	procs := make([]sim.Process, r.n)
+	for v := 0; v < r.n; v++ {
+		best := make(map[int32][2]int64, len(props[v].best))
+		for c, b := range props[v].best {
+			best[c] = b
+		}
+		nodes[v] = &proposalFloodNode{
+			comps: r.compID[v],
+			best:  best,
+			dirty: make(map[int32]bool),
+		}
+		procs[v] = nodes[v]
+	}
+	if err := r.runPhase(procs, seed, 4*r.n+8); err != nil {
+		return nil, fmt.Errorf("proposal flood: %w", err)
+	}
+	out := make([]map[int32][2]int64, r.n)
+	for v := 0; v < r.n; v++ {
+		// Components with no proposal anywhere stay absent; mark with
+		// proposer -1 for members so acceptNode can skip them.
+		m := nodes[v].best
+		for c := range r.compID[v] {
+			if _, ok := m[c]; !ok {
+				m[c] = [2]int64{-1, -1}
+			}
+		}
+		out[v] = m
+	}
+	return out, nil
+}
+
+// --- Tree extraction ----------------------------------------------------
+
+// bfsClassNode grows, for every class this node belongs to, a BFS tree
+// from the class leader (the member whose id equals the component id).
+type bfsClassNode struct {
+	member  map[int32]bool
+	leader  map[int32]bool
+	parent  map[int32]int64
+	depth   map[int32]int64
+	dirty   map[int32]bool
+	started bool
+}
+
+func (p *bfsClassNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	if !p.started {
+		p.started = true
+		for c := range p.leader {
+			p.parent[c] = -1
+			p.depth[c] = 0
+			p.dirty[c] = true
+		}
+	}
+	for _, d := range inbox {
+		if d.Msg.Kind != kindBFS {
+			continue
+		}
+		c := int32(d.Msg.F[0])
+		if !p.member[c] {
+			continue
+		}
+		if _, reached := p.parent[c]; reached {
+			continue
+		}
+		p.parent[c] = int64(d.From)
+		p.depth[c] = d.Msg.F[1] + 1
+		p.dirty[c] = true
+	}
+	sent := false
+	for c := range p.dirty {
+		ctx.Broadcast(sim.Msg(kindBFS, int64(c), p.depth[c]))
+		delete(p.dirty, c)
+		sent = true
+	}
+	if sent {
+		return sim.Active
+	}
+	return sim.Done
+}
+
+// extractTrees converts the final classes into dominating trees by
+// per-class distributed BFS from the class leader. This realizes the
+// paper's 0/1-weight MST step: a BFS forest of the 0-weight (same-class)
+// subgraph is such an MST's 0-weight part.
+func (r *run) extractTrees() error {
+	nodes := make([]*bfsClassNode, r.n)
+	procs := make([]sim.Process, r.n)
+	for v := 0; v < r.n; v++ {
+		member := make(map[int32]bool, len(r.hasOld[v]))
+		leader := make(map[int32]bool)
+		for c := range r.hasOld[v] {
+			member[c] = true
+			if id, ok := r.compID[v][c]; ok && id == int64(v) {
+				leader[c] = true
+			}
+		}
+		nodes[v] = &bfsClassNode{
+			member: member,
+			leader: leader,
+			parent: make(map[int32]int64),
+			depth:  make(map[int32]int64),
+			dirty:  make(map[int32]bool),
+		}
+		procs[v] = nodes[v]
+	}
+	if err := r.runPhase(procs, r.opts.Seed^0x7ee5, 4*r.n+8); err != nil {
+		return fmt.Errorf("tree extraction: %w", err)
+	}
+	for v := 0; v < r.n; v++ {
+		r.parent[v] = nodes[v].parent
+	}
+	return nil
+}
+
+// buildPacking assembles the cds.Packing from the per-node protocol
+// outputs, keeping only classes whose trees are connected dominating
+// trees (the others are reported through Stats.ValidClasses, exactly
+// the quantity the try-and-error tester checks).
+func (r *run) buildPacking() *cds.Packing {
+	classMembers := make([][]int32, r.classes)
+	for v := 0; v < r.n; v++ {
+		for c := range r.hasOld[v] {
+			classMembers[c] = append(classMembers[c], int32(v))
+		}
+	}
+	var trees []cds.Tree
+	for c := 0; c < r.classes; c++ {
+		members := classMembers[c]
+		if len(members) == 0 {
+			continue
+		}
+		parentOf := make(map[int]int, len(members))
+		root := -1
+		complete := true
+		for _, v := range members {
+			p, ok := r.parent[v][int32(c)]
+			if !ok {
+				complete = false // BFS never reached v: class disconnected
+				break
+			}
+			if p < 0 {
+				if root >= 0 {
+					complete = false // two roots: split class
+					break
+				}
+				root = int(v)
+			} else {
+				parentOf[int(v)] = int(p)
+			}
+		}
+		if !complete || root < 0 {
+			continue
+		}
+		tree, err := graph.NewTree(r.n, root, parentOf)
+		if err != nil {
+			continue
+		}
+		if !tree.IsDominatingIn(r.g) {
+			continue
+		}
+		trees = append(trees, cds.Tree{Tree: tree, Weight: 1, Class: c})
+	}
+	stats := r.stats
+	stats.ValidClasses = len(trees)
+	stats.MaxLoad = cds.FinalizeWeights(trees, r.n)
+	return &cds.Packing{Trees: trees, Classes: classMembers, Stats: stats}
+}

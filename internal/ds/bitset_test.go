@@ -1,0 +1,109 @@
+package ds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetSetClearHas(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Has(i) {
+			t.Fatalf("Has(%d) = true on empty set", i)
+		}
+		b.Set(i)
+		if !b.Has(i) {
+			t.Fatalf("Has(%d) = false after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count() = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Fatal("Has(64) = true after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+}
+
+func TestBitsetForEachOrder(t *testing.T) {
+	b := NewBitset(200)
+	want := []int{3, 64, 65, 100, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetUnionIntersect(t *testing.T) {
+	a, b := NewBitset(100), NewBitset(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	if got := a.IntersectCount(b); got != 1 {
+		t.Fatalf("IntersectCount = %d, want 1", got)
+	}
+	a.Union(b)
+	if got := a.Count(); got != 3 {
+		t.Fatalf("Count after Union = %d, want 3", got)
+	}
+	for _, i := range []int{1, 50, 99} {
+		if !a.Has(i) {
+			t.Fatalf("Has(%d) = false after Union", i)
+		}
+	}
+}
+
+// TestBitsetMatchesMap checks the bitset against a map-based set over
+// random operation sequences.
+func TestBitsetMatchesMap(t *testing.T) {
+	property := func(ops []uint16) bool {
+		const n = 300
+		b := NewBitset(n)
+		m := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			if op&0x8000 != 0 {
+				b.Clear(i)
+				delete(m, i)
+			} else {
+				b.Set(i)
+				m[i] = true
+			}
+		}
+		if b.Count() != len(m) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if b.Has(i) != m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetReset(t *testing.T) {
+	b := NewBitset(70)
+	b.Set(0)
+	b.Set(69)
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+}

@@ -1,0 +1,100 @@
+package ds
+
+// IndexHeap is a binary min-heap over item indices 0..n-1 keyed by
+// float64 priorities, with DecreaseKey support. It is used by Prim's MST
+// and by Dijkstra-style sweeps in the broadcast scheduler.
+type IndexHeap struct {
+	keys []float64
+	heap []int32 // heap[i] = item at heap position i
+	pos  []int32 // pos[item] = heap position, -1 if absent
+}
+
+// NewIndexHeap returns an empty heap over items 0..n-1.
+func NewIndexHeap(n int) *IndexHeap {
+	h := &IndexHeap{
+		keys: make([]float64, n),
+		heap: make([]int32, 0, n),
+		pos:  make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *IndexHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether item is currently in the heap.
+func (h *IndexHeap) Contains(item int) bool { return h.pos[item] >= 0 }
+
+// Key returns the current key of item; meaningful only if the item has
+// been pushed at least once.
+func (h *IndexHeap) Key(item int) float64 { return h.keys[item] }
+
+// Push inserts item with the given key. The item must not be in the heap.
+func (h *IndexHeap) Push(item int, key float64) {
+	h.keys[item] = key
+	h.pos[item] = int32(len(h.heap))
+	h.heap = append(h.heap, int32(item))
+	h.up(len(h.heap) - 1)
+}
+
+// DecreaseKey lowers item's key. It is a no-op if the new key is not
+// smaller than the current one.
+func (h *IndexHeap) DecreaseKey(item int, key float64) {
+	if key >= h.keys[item] {
+		return
+	}
+	h.keys[item] = key
+	h.up(int(h.pos[item]))
+}
+
+// PopMin removes and returns the item with the smallest key.
+func (h *IndexHeap) PopMin() (item int, key float64) {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return int(top), h.keys[top]
+}
+
+func (h *IndexHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[h.heap[parent]] <= h.keys[h.heap[i]] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.keys[h.heap[l]] < h.keys[h.heap[smallest]] {
+			smallest = l
+		}
+		if r < n && h.keys[h.heap[r]] < h.keys[h.heap[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *IndexHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}

@@ -1,0 +1,85 @@
+package ds
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexHeapSortedPop(t *testing.T) {
+	h := NewIndexHeap(8)
+	keys := []float64{5, 3, 8, 1, 9, 2, 7, 4}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		item, key := h.PopMin()
+		if key < prev {
+			t.Fatalf("pop order violated: %f after %f", key, prev)
+		}
+		if keys[item] != key {
+			t.Fatalf("item %d popped with key %f, want %f", item, key, keys[item])
+		}
+		prev = key
+	}
+}
+
+func TestIndexHeapDecreaseKey(t *testing.T) {
+	h := NewIndexHeap(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.DecreaseKey(2, 5)
+	item, key := h.PopMin()
+	if item != 2 || key != 5 {
+		t.Fatalf("PopMin = (%d,%f), want (2,5)", item, key)
+	}
+	// Increasing via DecreaseKey must be a no-op.
+	h.DecreaseKey(0, 100)
+	item, key = h.PopMin()
+	if item != 0 || key != 10 {
+		t.Fatalf("PopMin = (%d,%f), want (0,10)", item, key)
+	}
+}
+
+func TestIndexHeapContains(t *testing.T) {
+	h := NewIndexHeap(3)
+	h.Push(1, 1.5)
+	if !h.Contains(1) || h.Contains(0) || h.Contains(2) {
+		t.Fatal("Contains bookkeeping wrong after Push")
+	}
+	h.PopMin()
+	if h.Contains(1) {
+		t.Fatal("Contains(1) = true after PopMin")
+	}
+}
+
+// TestIndexHeapMatchesSort pops every element of a random key set and
+// compares the order against sort.Float64s.
+func TestIndexHeapMatchesSort(t *testing.T) {
+	property := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		h := NewIndexHeap(len(raw))
+		for i, k := range raw {
+			h.Push(i, k)
+		}
+		want := append([]float64(nil), raw...)
+		sort.Float64s(want)
+		for _, w := range want {
+			_, key := h.PopMin()
+			if key != w {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

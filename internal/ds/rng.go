@@ -1,0 +1,32 @@
+package ds
+
+import "math/rand/v2"
+
+// NewRand returns a deterministic PCG-backed random source for the given
+// seed. All randomized algorithms in this repository draw from streams
+// created here so that every experiment is reproducible from its seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// SplitRand derives an independent stream from a parent seed and a
+// stream index. Distributed nodes use SplitRand(seed, nodeID) so that
+// per-node randomness is independent of scheduling order, matching the
+// paper's model where each node has private coins.
+func SplitRand(seed uint64, stream uint64) *rand.Rand {
+	// SplitMix64-style avalanche of the pair keeps streams decorrelated.
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewPCG(z, z^0xda942042e4dd58b5))
+}
+
+// Perm fills dst with a uniformly random permutation of 0..len(dst)-1
+// drawn from rng.
+func Perm(rng *rand.Rand, dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	rng.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+}

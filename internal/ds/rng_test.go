@@ -1,0 +1,47 @@
+package ds
+
+import "testing"
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("two streams with the same seed diverged")
+		}
+	}
+}
+
+func TestSplitRandStreamsDiffer(t *testing.T) {
+	a, b := SplitRand(7, 0), SplitRand(7, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 agree on %d/64 draws; expected near-independence", same)
+	}
+}
+
+func TestSplitRandReproducible(t *testing.T) {
+	a, b := SplitRand(7, 3), SplitRand(7, 3)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitRand with identical (seed,stream) diverged")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewRand(9)
+	p := make([]int, 257)
+	Perm(rng, p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("Perm produced invalid permutation at value %d", v)
+		}
+		seen[v] = true
+	}
+}

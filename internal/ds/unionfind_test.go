@@ -1,0 +1,137 @@
+package ds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasic(t *testing.T) {
+	u := NewUnionFind(10)
+	if got := u.Sets(); got != 10 {
+		t.Fatalf("Sets() = %d, want 10", got)
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("Union(0,1) = false, want true")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeat Union(1,0) = true, want false")
+	}
+	if !u.Same(0, 1) {
+		t.Fatal("Same(0,1) = false after union")
+	}
+	if u.Same(0, 2) {
+		t.Fatal("Same(0,2) = true without union")
+	}
+	if got := u.Sets(); got != 9 {
+		t.Fatalf("Sets() = %d, want 9", got)
+	}
+	if got := u.SizeOf(1); got != 2 {
+		t.Fatalf("SizeOf(1) = %d, want 2", got)
+	}
+}
+
+func TestUnionFindChainMerge(t *testing.T) {
+	const n = 1000
+	u := NewUnionFind(n)
+	for i := 0; i+1 < n; i++ {
+		u.Union(i, i+1)
+	}
+	if got := u.Sets(); got != 1 {
+		t.Fatalf("Sets() after chain = %d, want 1", got)
+	}
+	if got := u.SizeOf(0); got != n {
+		t.Fatalf("SizeOf(0) = %d, want %d", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if !u.Same(0, i) {
+			t.Fatalf("Same(0,%d) = false after chain", i)
+		}
+	}
+}
+
+func TestUnionFindReset(t *testing.T) {
+	u := NewUnionFind(5)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Reset()
+	if got := u.Sets(); got != 5 {
+		t.Fatalf("Sets() after Reset = %d, want 5", got)
+	}
+	if u.Same(0, 1) {
+		t.Fatal("Same(0,1) = true after Reset")
+	}
+	if got := u.SizeOf(2); got != 1 {
+		t.Fatalf("SizeOf(2) after Reset = %d, want 1", got)
+	}
+}
+
+func TestUnionFindComponents(t *testing.T) {
+	u := NewUnionFind(6)
+	u.Union(0, 2)
+	u.Union(2, 4)
+	u.Union(1, 5)
+	labels, count := u.Components()
+	if count != 3 {
+		t.Fatalf("component count = %d, want 3", count)
+	}
+	if labels[0] != labels[2] || labels[2] != labels[4] {
+		t.Fatalf("labels of {0,2,4} differ: %v", labels)
+	}
+	if labels[1] != labels[5] {
+		t.Fatalf("labels of {1,5} differ: %v", labels)
+	}
+	if labels[0] == labels[1] || labels[0] == labels[3] || labels[1] == labels[3] {
+		t.Fatalf("distinct components share labels: %v", labels)
+	}
+}
+
+// TestUnionFindMatchesNaive drives the structure with random union
+// sequences and checks Same/Sets against a brute-force partition.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	property := func(ops []uint16) bool {
+		const n = 32
+		u := NewUnionFind(n)
+		naive := make([]int, n)
+		for i := range naive {
+			naive[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range naive {
+				if naive[i] == from {
+					naive[i] = to
+				}
+			}
+		}
+		for _, op := range ops {
+			x, y := int(op)%n, int(op>>5)%n
+			u.Union(x, y)
+			if naive[x] != naive[y] {
+				relabel(naive[x], naive[y])
+			}
+		}
+		groups := map[int]bool{}
+		for i := 0; i < n; i++ {
+			groups[naive[i]] = true
+			for j := i + 1; j < n; j++ {
+				if u.Same(i, j) != (naive[i] == naive[j]) {
+					return false
+				}
+			}
+		}
+		return u.Sets() == len(groups)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	rng := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		u := NewUnionFind(n)
+		for j := 0; j < n; j++ {
+			u.Union(rng.IntN(n), rng.IntN(n))
+		}
+	}
+}

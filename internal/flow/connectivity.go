@@ -1,0 +1,146 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// LocalEdgeConnectivity returns λ(s,t): the maximum number of
+// edge-disjoint s-t paths in g.
+func LocalEdgeConnectivity(g *graph.Graph, s, t int) int {
+	return localEdgeConnectivityAtMost(g, s, t, int(unbounded))
+}
+
+func localEdgeConnectivityAtMost(g *graph.Graph, s, t, limit int) int {
+	f := NewNetwork(g.N())
+	for _, e := range g.Edges() {
+		f.AddEdge(int(e.U), int(e.V))
+	}
+	return f.MaxFlowAtMost(s, t, limit)
+}
+
+// EdgeConnectivity returns the exact global edge connectivity λ(G) by
+// fixing vertex 0 and taking the minimum of λ(0,t) over all other t
+// (every global minimum cut separates 0 from some t). It returns 0 for
+// disconnected or single-vertex graphs.
+func EdgeConnectivity(g *graph.Graph) int {
+	if g.N() <= 1 {
+		return 0
+	}
+	best := g.Degree(0)
+	for t := 1; t < g.N() && best > 0; t++ {
+		if c := localEdgeConnectivityAtMost(g, 0, t, best); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// LocalVertexConnectivity returns κ(s,t): the maximum number of
+// internally vertex-disjoint s-t paths, for non-adjacent s != t. It
+// returns an error for adjacent or equal endpoints, where κ(s,t) is
+// undefined in Menger form.
+func LocalVertexConnectivity(g *graph.Graph, s, t int) (int, error) {
+	if s == t {
+		return 0, fmt.Errorf("flow: κ(s,t) undefined for s == t")
+	}
+	if g.HasEdge(s, t) {
+		return 0, fmt.Errorf("flow: κ(%d,%d) undefined for adjacent endpoints", s, t)
+	}
+	return localVertexConnectivityAtMost(g, s, t, int(unbounded)), nil
+}
+
+// localVertexConnectivityAtMost computes min(κ(s,t), limit) via the
+// standard vertex-splitting reduction: v becomes v_in -> v_out with
+// capacity 1 (unbounded for s and t), and each undirected edge {u,v}
+// becomes u_out -> v_in and v_out -> u_in with unbounded capacity.
+func localVertexConnectivityAtMost(g *graph.Graph, s, t, limit int) int {
+	n := g.N()
+	inOf := func(v int) int { return 2 * v }
+	outOf := func(v int) int { return 2*v + 1 }
+	f := NewNetwork(2 * n)
+	for v := 0; v < n; v++ {
+		c := int32(1)
+		if v == s || v == t {
+			c = unbounded
+		}
+		f.AddArc(inOf(v), outOf(v), c)
+	}
+	for _, e := range g.Edges() {
+		u, v := int(e.U), int(e.V)
+		f.AddArc(outOf(u), inOf(v), unbounded)
+		f.AddArc(outOf(v), inOf(u), unbounded)
+	}
+	return f.MaxFlowAtMost(outOf(s), inOf(t), limit)
+}
+
+// VertexConnectivity returns the exact vertex connectivity κ(G) using
+// Even's reduction: fix a minimum-degree vertex x; then
+//
+//	κ(G) = min( κ(x,t) over t non-adjacent to x,
+//	            κ(u,v) over non-adjacent pairs u,v ∈ N(x) ),
+//
+// or n-1 when the graph is complete. Correctness: a minimum cut S either
+// misses x (then the far side is non-adjacent to x) or contains x (then
+// x has neighbors on both sides, which are non-adjacent to each other).
+// It returns 0 for disconnected graphs.
+func VertexConnectivity(g *graph.Graph) int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	if !graph.IsConnected(g) {
+		return 0
+	}
+	x := 0
+	for v := 1; v < n; v++ {
+		if g.Degree(v) < g.Degree(x) {
+			x = v
+		}
+	}
+	best := g.Degree(x) // κ <= δ
+	sawNonAdjacent := false
+	for t := 0; t < n && best > 0; t++ {
+		if t == x || g.HasEdge(x, t) {
+			continue
+		}
+		sawNonAdjacent = true
+		if c := localVertexConnectivityAtMost(g, x, t, best); c < best {
+			best = c
+		}
+	}
+	nbrs := g.Neighbors(x)
+	for i := 0; i < len(nbrs) && best > 0; i++ {
+		for j := i + 1; j < len(nbrs) && best > 0; j++ {
+			u, v := int(nbrs[i]), int(nbrs[j])
+			if g.HasEdge(u, v) {
+				continue
+			}
+			sawNonAdjacent = true
+			if c := localVertexConnectivityAtMost(g, u, v, best); c < best {
+				best = c
+			}
+		}
+	}
+	if !sawNonAdjacent {
+		// No non-adjacent pair seen from x. If the whole graph is
+		// complete κ = n-1; otherwise fall back to scanning all pairs
+		// (x's closed neighborhood was a clique but the graph is not).
+		complete := g.M() == n*(n-1)/2
+		if complete {
+			return n - 1
+		}
+		for u := 0; u < n && best > 0; u++ {
+			for v := u + 1; v < n && best > 0; v++ {
+				if g.HasEdge(u, v) {
+					continue
+				}
+				if c := localVertexConnectivityAtMost(g, u, v, best); c < best {
+					best = c
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,271 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+func TestMaxFlowTiny(t *testing.T) {
+	// s=0 -> {1,2} -> t=3, all unit arcs: flow 2.
+	f := NewNetwork(4)
+	f.AddArc(0, 1, 1)
+	f.AddArc(0, 2, 1)
+	f.AddArc(1, 3, 1)
+	f.AddArc(2, 3, 1)
+	if got := f.MaxFlow(0, 3); got != 2 {
+		t.Fatalf("MaxFlow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowBottleneck(t *testing.T) {
+	// Wide fan into a single middle vertex.
+	f := NewNetwork(6)
+	for i := 1; i <= 3; i++ {
+		f.AddArc(0, i, 5)
+		f.AddArc(i, 4, 5)
+	}
+	f.AddArc(4, 5, 2)
+	if got := f.MaxFlow(0, 5); got != 2 {
+		t.Fatalf("MaxFlow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowAtMostEarlyExit(t *testing.T) {
+	f := NewNetwork(2)
+	for i := 0; i < 10; i++ {
+		f.AddArc(0, 1, 1)
+	}
+	if got := f.MaxFlowAtMost(0, 1, 3); got != 3 {
+		t.Fatalf("MaxFlowAtMost = %d, want 3", got)
+	}
+}
+
+func TestMinCutSource(t *testing.T) {
+	f := NewNetwork(4)
+	f.AddArc(0, 1, 3)
+	f.AddArc(1, 2, 1) // bottleneck
+	f.AddArc(2, 3, 3)
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("MaxFlow = %d, want 1", got)
+	}
+	side := f.MinCutSource(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Fatalf("cut side = %v, want {0,1}", side)
+	}
+}
+
+func TestEdgeConnectivityKnown(t *testing.T) {
+	chain, err := graph.CliqueChain(3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"P5", graph.Path(5), 1},
+		{"C8", graph.Cycle(8), 2},
+		{"K6", graph.Complete(6), 5},
+		{"Q3", graph.Hypercube(3), 3},
+		{"Q4", graph.Hypercube(4), 4},
+		{"Torus4x4", graph.Torus(4, 4), 4},
+		{"CliqueChain-bridge2", chain, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := EdgeConnectivity(tc.g); got != tc.want {
+				t.Fatalf("EdgeConnectivity = %d, want %d", got, tc.want)
+			}
+			if got := StoerWagner(tc.g); got != tc.want {
+				t.Fatalf("StoerWagner = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVertexConnectivityKnown(t *testing.T) {
+	h47, err := graph.Harary(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h511, err := graph.Harary(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := graph.CliqueChain(3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"P5", graph.Path(5), 1},
+		{"C8", graph.Cycle(8), 2},
+		{"K6", graph.Complete(6), 5},
+		{"Q3", graph.Hypercube(3), 3},
+		{"Q4", graph.Hypercube(4), 4},
+		{"Harary4_9", h47, 4},
+		{"Harary5_11", h511, 5},
+		{"CliqueChain-bridge2", chain, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := VertexConnectivity(tc.g); got != tc.want {
+				t.Fatalf("VertexConnectivity = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVertexConnectivityDisconnectedAndTiny(t *testing.T) {
+	if got := VertexConnectivity(graph.FromEdgeList(4, [][2]int{{0, 1}})); got != 0 {
+		t.Fatalf("disconnected κ = %d, want 0", got)
+	}
+	if got := VertexConnectivity(graph.NewBuilder(1).Graph()); got != 0 {
+		t.Fatalf("single vertex κ = %d, want 0", got)
+	}
+	if got := EdgeConnectivity(graph.NewBuilder(1).Graph()); got != 0 {
+		t.Fatalf("single vertex λ = %d, want 0", got)
+	}
+}
+
+func TestLocalVertexConnectivityErrors(t *testing.T) {
+	g := graph.Complete(4)
+	if _, err := LocalVertexConnectivity(g, 1, 1); err == nil {
+		t.Fatal("s == t accepted")
+	}
+	if _, err := LocalVertexConnectivity(g, 0, 1); err == nil {
+		t.Fatal("adjacent pair accepted")
+	}
+}
+
+func TestLocalVertexConnectivityPath(t *testing.T) {
+	g := graph.Path(5)
+	got, err := LocalVertexConnectivity(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("κ(0,4) on P5 = %d, want 1", got)
+	}
+}
+
+// TestWhitneyInequality checks κ <= λ <= δ on random graphs, plus
+// agreement between the two independent λ implementations.
+func TestWhitneyInequality(t *testing.T) {
+	rng := ds.NewRand(23)
+	for trial := 0; trial < 8; trial++ {
+		g := graph.Gnp(24, 0.3, rng)
+		if !graph.IsConnected(g) {
+			continue
+		}
+		kappa := VertexConnectivity(g)
+		lambda := EdgeConnectivity(g)
+		sw := StoerWagner(g)
+		delta := g.MinDegree()
+		if lambda != sw {
+			t.Fatalf("trial %d: flow λ=%d vs Stoer-Wagner %d", trial, lambda, sw)
+		}
+		if kappa > lambda || lambda > delta {
+			t.Fatalf("trial %d: Whitney violated: κ=%d λ=%d δ=%d", trial, kappa, lambda, delta)
+		}
+	}
+}
+
+// TestMengerPathsMatchCuts verifies max-flow equals the brute-force
+// minimum vertex cut on small graphs (LP duality / Menger).
+func TestMengerPathsMatchCuts(t *testing.T) {
+	rng := ds.NewRand(31)
+	for trial := 0; trial < 6; trial++ {
+		g := graph.Gnp(10, 0.35, rng)
+		if !graph.IsConnected(g) {
+			continue
+		}
+		// Find a non-adjacent pair.
+		s, tt := -1, -1
+		for u := 0; u < g.N() && s < 0; u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if !g.HasEdge(u, v) {
+					s, tt = u, v
+					break
+				}
+			}
+		}
+		if s < 0 {
+			continue // complete
+		}
+		got, err := LocalVertexConnectivity(g, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceVertexCut(g, s, tt)
+		if got != want {
+			t.Fatalf("trial %d: κ(%d,%d) = %d, brute force %d", trial, s, tt, got, want)
+		}
+	}
+}
+
+// bruteForceVertexCut enumerates vertex subsets (excluding s,t) in
+// increasing size and returns the size of the smallest set whose removal
+// separates s from t.
+func bruteForceVertexCut(g *graph.Graph, s, t int) int {
+	n := g.N()
+	candidates := make([]int, 0, n-2)
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			candidates = append(candidates, v)
+		}
+	}
+	for size := 0; size <= len(candidates); size++ {
+		removed := make([]bool, n)
+		var try func(start, left int) bool
+		try = func(start, left int) bool {
+			if left == 0 {
+				dist := graph.BFSRestricted(g, s, func(v int) bool { return !removed[v] })
+				return dist[t] < 0
+			}
+			for i := start; i <= len(candidates)-left; i++ {
+				removed[candidates[i]] = true
+				if try(i+1, left-1) {
+					return true
+				}
+				removed[candidates[i]] = false
+			}
+			return false
+		}
+		if try(0, size) {
+			return size
+		}
+	}
+	return len(candidates)
+}
+
+// TestSparseCertificatePreservesLambda cross-checks the Nagamochi–
+// Ibaraki property: λ(SparseCertificate(g,k)) = min(λ(g), k).
+func TestSparseCertificatePreservesLambda(t *testing.T) {
+	rng := ds.NewRand(41)
+	cases := []*graph.Graph{
+		graph.Complete(12),                // λ=11
+		graph.Hypercube(4),                // λ=4
+		graph.RandomHamCycles(20, 3, rng), // λ≈6
+	}
+	for gi, g := range cases {
+		lambda := EdgeConnectivity(g)
+		for _, k := range []int{1, 2, lambda, lambda + 3} {
+			cert := graph.SparseCertificate(g, k)
+			got := EdgeConnectivity(cert)
+			want := lambda
+			if k < want {
+				want = k
+			}
+			if got != want {
+				t.Fatalf("graph %d k=%d: λ(cert)=%d, want %d", gi, k, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/ds"
+)
+
+func TestSparseCertificateEdgeBudget(t *testing.T) {
+	g := Complete(20)
+	for _, k := range []int{1, 3, 5} {
+		cert := SparseCertificate(g, k)
+		if cert.M() > k*(g.N()-1) {
+			t.Fatalf("k=%d: %d edges exceed k(n-1)=%d", k, cert.M(), k*(g.N()-1))
+		}
+		if cert.N() != g.N() {
+			t.Fatalf("certificate changed vertex count")
+		}
+		if !IsConnected(cert) {
+			t.Fatalf("k=%d: certificate disconnected", k)
+		}
+	}
+}
+
+func TestSparseCertificateSubgraph(t *testing.T) {
+	rng := ds.NewRand(3)
+	g := Gnp(30, 0.3, rng)
+	cert := SparseCertificate(g, 2)
+	for _, e := range cert.Edges() {
+		if !g.HasEdge(int(e.U), int(e.V)) {
+			t.Fatalf("certificate edge (%d,%d) not in original", e.U, e.V)
+		}
+	}
+}
+
+func TestSparseCertificateExhaustsSmallGraphs(t *testing.T) {
+	g := Path(5) // one spanning forest is the whole graph
+	cert := SparseCertificate(g, 10)
+	if cert.M() != g.M() {
+		t.Fatalf("certificate of a tree should keep all %d edges, got %d", g.M(), cert.M())
+	}
+}
+
+func TestSparseCertificateKBelowOne(t *testing.T) {
+	g := Cycle(6)
+	cert := SparseCertificate(g, 0) // clamped to 1
+	if cert.M() != 5 {
+		t.Fatalf("one forest of C6 should have 5 edges, got %d", cert.M())
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// DOTOptions customizes WriteDOT output. Nil callbacks fall back to
+// defaults.
+type DOTOptions struct {
+	Name      string                // graph name; default "G"
+	NodeAttrs func(v int) string    // extra attrs, e.g. `color="red"`
+	EdgeAttrs func(u, v int) string // extra attrs per edge
+	KeepNode  func(v int) bool      // nil keeps all
+	ExtraEdge []Edge                // drawn dashed, for overlays
+	Label     func(v int) string    // node label; default id
+}
+
+// WriteDOT renders g in Graphviz format. It backs cmd/figures, which
+// regenerates the paper's schematic figures from live data structures.
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if opts.KeepNode != nil && !opts.KeepNode(v) {
+			continue
+		}
+		label := fmt.Sprintf("%d", v)
+		if opts.Label != nil {
+			label = opts.Label(v)
+		}
+		attrs := ""
+		if opts.NodeAttrs != nil {
+			attrs = opts.NodeAttrs(v)
+		}
+		if attrs != "" {
+			attrs = ", " + attrs
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"%s];\n", v, label, attrs); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		u, v := int(e.U), int(e.V)
+		if opts.KeepNode != nil && (!opts.KeepNode(u) || !opts.KeepNode(v)) {
+			continue
+		}
+		attrs := ""
+		if opts.EdgeAttrs != nil {
+			attrs = opts.EdgeAttrs(u, v)
+		}
+		if attrs != "" {
+			attrs = " [" + attrs + "]"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d%s;\n", u, v, attrs); err != nil {
+			return err
+		}
+	}
+	for _, e := range opts.ExtraEdge {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d [style=dashed];\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,244 @@
+// Package graph provides the undirected simple-graph substrate used by
+// every other module: a compact adjacency representation with stable edge
+// identifiers, generators for the families the experiments run on, and
+// the traversal utilities (BFS, components, diameter) the paper's
+// algorithms assume as primitives.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between U and V with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// Graph is an immutable undirected simple graph on vertices 0..N()-1.
+// Neighbor lists are sorted; every edge has a stable identifier equal to
+// its index in Edges(), which the spanning-tree packing uses for
+// per-edge load accounting.
+type Graph struct {
+	n       int
+	adj     [][]int32 // sorted neighbor lists
+	adjEdge [][]int32 // adjEdge[u][i] = edge id of (u, adj[u][i])
+	edges   []Edge
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are silently dropped, so generators can over-propose.
+type Builder struct {
+	n    int
+	seen map[Edge]bool
+	list []Edge
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, seen: make(map[Edge]bool)}
+}
+
+// AddEdge records the undirected edge {u,v}. Self-loops and duplicates
+// are ignored. Vertices must be in range; out-of-range panics because it
+// is always a programming error in a generator.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	e := Edge{int32(u), int32(v)}
+	if b.seen[e] {
+		return
+	}
+	b.seen[e] = true
+	b.list = append(b.list, e)
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return b.seen[Edge{int32(u), int32(v)}]
+}
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.list) }
+
+// Graph finalizes the builder into an immutable Graph.
+func (b *Builder) Graph() *Graph {
+	edges := append([]Edge(nil), b.list...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return fromEdges(b.n, edges)
+}
+
+func fromEdges(n int, edges []Edge) *Graph {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	adj := make([][]int32, n)
+	adjEdge := make([][]int32, n)
+	for u := range adj {
+		adj[u] = make([]int32, 0, deg[u])
+		adjEdge[u] = make([]int32, 0, deg[u])
+	}
+	for id, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adjEdge[e.U] = append(adjEdge[e.U], int32(id))
+		adj[e.V] = append(adj[e.V], e.U)
+		adjEdge[e.V] = append(adjEdge[e.V], int32(id))
+	}
+	g := &Graph{n: n, adj: adj, adjEdge: adjEdge, edges: edges}
+	for u := 0; u < n; u++ {
+		g.sortAdj(u)
+	}
+	return g
+}
+
+func (g *Graph) sortAdj(u int) {
+	a, e := g.adj[u], g.adjEdge[u]
+	sort.Sort(&adjSorter{a, e})
+}
+
+type adjSorter struct {
+	a []int32
+	e []int32
+}
+
+func (s *adjSorter) Len() int           { return len(s.a) }
+func (s *adjSorter) Less(i, j int) bool { return s.a[i] < s.a[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.a[i], s.a[j] = s.a[j], s.a[i]
+	s.e[i], s.e[j] = s.e[j], s.e[i]
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MinDegree returns the minimum degree over all vertices, or 0 for an
+// empty graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for u := 1; u < g.n; u++ {
+		if d := g.Degree(u); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Neighbors returns u's sorted neighbor list. The slice is shared; do
+// not modify it.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// IncidentEdges returns the edge ids parallel to Neighbors(u). The slice
+// is shared; do not modify it.
+func (g *Graph) IncidentEdges(u int) []int32 { return g.adjEdge[u] }
+
+// Edges returns the edge list indexed by edge id. The slice is shared;
+// do not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Endpoints returns the two endpoints of edge id e.
+func (g *Graph) Endpoints(e int) (int, int) {
+	ed := g.edges[e]
+	return int(ed.U), int(ed.V)
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search on the
+// smaller neighbor list.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+// EdgeID returns the id of edge {u,v} and whether it exists.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	if u == v {
+		return 0, false
+	}
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	if i < len(a) && a[i] == int32(v) {
+		return int(g.adjEdge[u][i]), true
+	}
+	return 0, false
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set
+// together with the mapping from new ids to original ids. Vertices may
+// be listed in any order; duplicates are rejected.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
+	orig := make([]int, 0, len(vertices))
+	index := make(map[int]int, len(vertices))
+	for _, v := range vertices {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if _, dup := index[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		index[v] = len(orig)
+		orig = append(orig, v)
+	}
+	b := NewBuilder(len(orig))
+	for newU, u := range orig {
+		for _, w := range g.adj[u] {
+			if newW, ok := index[int(w)]; ok && newU < newW {
+				b.AddEdge(newU, newW)
+			}
+		}
+	}
+	return b.Graph(), orig, nil
+}
+
+// SubgraphByEdges returns the spanning subgraph of g containing exactly
+// the edges whose ids satisfy keep.
+func (g *Graph) SubgraphByEdges(keep func(edgeID int) bool) *Graph {
+	b := NewBuilder(g.n)
+	for id, e := range g.edges {
+		if keep(id) {
+			b.AddEdge(int(e.U), int(e.V))
+		}
+	}
+	return b.Graph()
+}
+
+// FromEdgeList builds a graph on n vertices from an explicit edge list.
+// It is a convenience for tests.
+func FromEdgeList(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Graph()
+}

@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a subtree of a host graph on n vertices, stored as a parent
+// forest: parent[v] = -1 for the root, -2 for vertices not in the tree.
+// Dominating-tree and spanning-tree packings are collections of Trees.
+type Tree struct {
+	root     int32
+	parent   []int32
+	vertices []int32 // sorted
+}
+
+const (
+	treeAbsent = -2
+	treeRoot   = -1
+)
+
+// NewTree builds a Tree over a host graph with n vertices from a parent
+// map. parentOf must map every non-root tree vertex to its parent; the
+// root maps to -1. It returns an error if the structure is not a single
+// tree rooted at root.
+func NewTree(n int, root int, parentOf map[int]int) (*Tree, error) {
+	t := &Tree{root: int32(root), parent: make([]int32, n)}
+	for i := range t.parent {
+		t.parent[i] = treeAbsent
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("graph: tree root %d out of range", root)
+	}
+	t.parent[root] = treeRoot
+	t.vertices = append(t.vertices, int32(root))
+	for v, p := range parentOf {
+		if v == root {
+			if p != -1 {
+				return nil, fmt.Errorf("graph: root %d has parent %d", root, p)
+			}
+			continue
+		}
+		if v < 0 || v >= n || p < 0 || p >= n {
+			return nil, fmt.Errorf("graph: tree entry %d->%d out of range", v, p)
+		}
+		t.parent[v] = int32(p)
+		t.vertices = append(t.vertices, int32(v))
+	}
+	sort.Slice(t.vertices, func(i, j int) bool { return t.vertices[i] < t.vertices[j] })
+	// Every vertex must reach the root without cycles.
+	for _, v := range t.vertices {
+		steps := 0
+		for u := v; t.parent[u] != treeRoot; u = t.parent[u] {
+			if t.parent[u] == treeAbsent {
+				return nil, fmt.Errorf("graph: vertex %d's ancestor chain leaves the tree", v)
+			}
+			steps++
+			if steps > len(t.vertices) {
+				return nil, fmt.Errorf("graph: cycle in parent chain of vertex %d", v)
+			}
+		}
+	}
+	return t, nil
+}
+
+// TreeFromBFS builds the BFS spanning tree of g's component containing
+// root.
+func TreeFromBFS(g *Graph, root int) *Tree {
+	dist, parent := BFS(g, root)
+	t := &Tree{root: int32(root), parent: make([]int32, g.n)}
+	for i := range t.parent {
+		t.parent[i] = treeAbsent
+	}
+	for v := 0; v < g.n; v++ {
+		if dist[v] < 0 {
+			continue
+		}
+		if v == root {
+			t.parent[v] = treeRoot
+		} else {
+			t.parent[v] = parent[v]
+		}
+		t.vertices = append(t.vertices, int32(v))
+	}
+	return t
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() int { return int(t.root) }
+
+// Size returns the number of vertices in the tree.
+func (t *Tree) Size() int { return len(t.vertices) }
+
+// Contains reports whether v is a tree vertex.
+func (t *Tree) Contains(v int) bool { return t.parent[v] != treeAbsent }
+
+// Parent returns v's parent and true, or (-1,false) for the root or for
+// vertices outside the tree.
+func (t *Tree) Parent(v int) (int, bool) {
+	p := t.parent[v]
+	if p < 0 {
+		return -1, false
+	}
+	return int(p), true
+}
+
+// Vertices returns the sorted vertex list. The slice is shared; do not
+// modify it.
+func (t *Tree) Vertices() []int32 { return t.vertices }
+
+// EdgeCount returns the number of tree edges (Size()-1 for a valid tree).
+func (t *Tree) EdgeCount() int { return len(t.vertices) - 1 }
+
+// ForEachEdge calls fn once per tree edge (child, parent).
+func (t *Tree) ForEachEdge(fn func(child, parent int)) {
+	for _, v := range t.vertices {
+		if p := t.parent[v]; p >= 0 {
+			fn(int(v), int(p))
+		}
+	}
+}
+
+// Height returns the maximum root-to-leaf distance (0 for a single
+// vertex). Because every tree path between two vertices has length at
+// most 2*Height, this bounds the tree diameter the paper's Theorem 1.1
+// constrains.
+func (t *Tree) Height() int {
+	depth := make(map[int32]int32, len(t.vertices))
+	var depthOf func(v int32) int32
+	depthOf = func(v int32) int32 {
+		if t.parent[v] == treeRoot {
+			return 0
+		}
+		if d, ok := depth[v]; ok {
+			return d
+		}
+		d := depthOf(t.parent[v]) + 1
+		depth[v] = d
+		return d
+	}
+	max := int32(0)
+	for _, v := range t.vertices {
+		if d := depthOf(v); d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// ValidateIn checks that t is a tree whose edges all exist in g.
+func (t *Tree) ValidateIn(g *Graph) error {
+	if len(t.vertices) == 0 {
+		return fmt.Errorf("graph: empty tree")
+	}
+	bad := error(nil)
+	t.ForEachEdge(func(child, parent int) {
+		if bad == nil && !g.HasEdge(child, parent) {
+			bad = fmt.Errorf("graph: tree edge (%d,%d) not in host graph", child, parent)
+		}
+	})
+	return bad
+}
+
+// IsSpanning reports whether t contains every vertex of g.
+func (t *Tree) IsSpanning(g *Graph) bool { return len(t.vertices) == g.n }
+
+// IsDominatingIn reports whether every vertex of g is in t or adjacent
+// to a vertex of t — the dominating-tree condition of Section 2.
+func (t *Tree) IsDominatingIn(g *Graph) bool {
+	for v := 0; v < g.n; v++ {
+		if t.Contains(v) {
+			continue
+		}
+		dominated := false
+		for _, w := range g.Neighbors(v) {
+			if t.Contains(int(w)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanningTreeOfSubset builds a spanning tree of g[S] (the subgraph
+// induced by S) rooted at the smallest vertex of S, provided g[S] is
+// connected. This implements the paper's CDS-to-dominating-tree step
+// (the 0/1-weight MST of Section 3.1 reduces to exactly this).
+func SpanningTreeOfSubset(g *Graph, inSet func(v int) bool) (*Tree, error) {
+	root := -1
+	for v := 0; v < g.n; v++ {
+		if inSet(v) {
+			root = v
+			break
+		}
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("graph: empty vertex set")
+	}
+	t := &Tree{root: int32(root), parent: make([]int32, g.n)}
+	for i := range t.parent {
+		t.parent[i] = treeAbsent
+	}
+	t.parent[root] = treeRoot
+	t.vertices = append(t.vertices, int32(root))
+	queue := []int32{int32(root)}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.adj[u] {
+			if inSet(int(v)) && t.parent[v] == treeAbsent {
+				t.parent[v] = u
+				t.vertices = append(t.vertices, v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	size := 0
+	for v := 0; v < g.n; v++ {
+		if inSet(v) {
+			size++
+		}
+	}
+	if size != len(t.vertices) {
+		return nil, fmt.Errorf("graph: induced subgraph disconnected (%d of %d reached)", len(t.vertices), size)
+	}
+	sort.Slice(t.vertices, func(i, j int) bool { return t.vertices[i] < t.vertices[j] })
+	return t, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTreeValid(t *testing.T) {
+	tr, err := NewTree(5, 0, map[int]int{1: 0, 2: 0, 3: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 4 || tr.Root() != 0 || tr.EdgeCount() != 3 {
+		t.Fatalf("size=%d root=%d edges=%d", tr.Size(), tr.Root(), tr.EdgeCount())
+	}
+	if !tr.Contains(3) || tr.Contains(4) {
+		t.Fatal("Contains bookkeeping wrong")
+	}
+	if p, ok := tr.Parent(3); !ok || p != 1 {
+		t.Fatalf("Parent(3) = (%d,%v), want (1,true)", p, ok)
+	}
+	if _, ok := tr.Parent(0); ok {
+		t.Fatal("root reported a parent")
+	}
+	if h := tr.Height(); h != 2 {
+		t.Fatalf("Height = %d, want 2", h)
+	}
+}
+
+func TestNewTreeRejectsBadStructures(t *testing.T) {
+	if _, err := NewTree(4, 0, map[int]int{1: 2}); err == nil {
+		t.Fatal("dangling parent chain accepted")
+	}
+	if _, err := NewTree(4, 0, map[int]int{1: 2, 2: 1}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, err := NewTree(4, 9, nil); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	if _, err := NewTree(4, 0, map[int]int{1: 7}); err == nil {
+		t.Fatal("out-of-range parent accepted")
+	}
+}
+
+func TestTreeFromBFSSpanning(t *testing.T) {
+	g := Hypercube(3)
+	tr := TreeFromBFS(g, 0)
+	if !tr.IsSpanning(g) {
+		t.Fatal("BFS tree of connected graph not spanning")
+	}
+	if err := tr.ValidateIn(g); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h != 3 {
+		t.Fatalf("BFS height of Q3 = %d, want 3", h)
+	}
+	if !tr.IsDominatingIn(g) {
+		t.Fatal("spanning tree must dominate")
+	}
+}
+
+func TestTreeDominating(t *testing.T) {
+	// Star K_{1,4}: tree = center alone dominates.
+	g := FromEdgeList(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	tr, err := NewTree(5, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsDominatingIn(g) {
+		t.Fatal("center of a star should dominate")
+	}
+	// A leaf alone does not dominate the other leaves.
+	leaf, err := NewTree(5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.IsDominatingIn(g) {
+		t.Fatal("a single leaf cannot dominate a star")
+	}
+}
+
+func TestValidateInCatchesForeignEdges(t *testing.T) {
+	g := Path(4)                                // edges 0-1,1-2,2-3
+	tr, err := NewTree(4, 0, map[int]int{2: 0}) // edge (2,0) not in P4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ValidateIn(g); err == nil {
+		t.Fatal("foreign edge not caught")
+	}
+}
+
+func TestSpanningTreeOfSubset(t *testing.T) {
+	g := Cycle(8)
+	even := func(v int) bool { return v%2 == 0 }
+	if _, err := SpanningTreeOfSubset(g, even); err == nil {
+		t.Fatal("disconnected induced subgraph accepted")
+	}
+	firstHalf := func(v int) bool { return v < 5 }
+	tr, err := SpanningTreeOfSubset(g, firstHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", tr.Size())
+	}
+	if err := tr.ValidateIn(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpanningTreeOfSubset(g, func(int) bool { return false }); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestForEachEdgeCount(t *testing.T) {
+	g := Complete(6)
+	tr := TreeFromBFS(g, 2)
+	edges := 0
+	tr.ForEachEdge(func(child, parent int) {
+		edges++
+		if !g.HasEdge(child, parent) {
+			t.Fatalf("edge (%d,%d) not in host", child, parent)
+		}
+	})
+	if edges != tr.EdgeCount() {
+		t.Fatalf("ForEachEdge visited %d edges, want %d", edges, tr.EdgeCount())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	err := WriteDOT(&sb, g, DOTOptions{Name: "P3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph P3", "n0 -- n1", "n1 -- n2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package mst provides minimum spanning tree algorithms. The
+// spanning-tree packing of Section 5 calls an MST oracle once per MWU
+// iteration with exponential edge costs exp(α·z_e); to keep that stable
+// for large exponents the oracle works directly on the exponents (MST
+// order is monotone in z_e) and the cost sums use a log-sum-exp
+// accumulator.
+package mst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// Kruskal computes a minimum spanning forest of g under the given
+// per-edge weights and returns the chosen edge ids. Ties are broken by
+// edge id, making the result deterministic.
+func Kruskal(g *graph.Graph, weight func(edgeID int) float64) []int {
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := weight(order[a]), weight(order[b])
+		if wa != wb {
+			return wa < wb
+		}
+		return order[a] < order[b]
+	})
+	uf := ds.NewUnionFind(g.N())
+	chosen := make([]int, 0, g.N()-1)
+	for _, id := range order {
+		u, v := g.Endpoints(id)
+		if uf.Union(u, v) {
+			chosen = append(chosen, id)
+		}
+	}
+	return chosen
+}
+
+// Prim computes a minimum spanning tree of the component containing
+// root and returns it as a graph.Tree. It is the oracle used when only
+// one component matters.
+func Prim(g *graph.Graph, root int, weight func(edgeID int) float64) *graph.Tree {
+	h := ds.NewIndexHeap(g.N())
+	parent := make(map[int]int)
+	bestEdge := make([]int32, g.N())
+	inTree := make([]bool, g.N())
+	for i := range bestEdge {
+		bestEdge[i] = -1
+	}
+	h.Push(root, 0)
+	for h.Len() > 0 {
+		u, _ := h.PopMin()
+		inTree[u] = true
+		if be := bestEdge[u]; be >= 0 {
+			a, b := g.Endpoints(int(be))
+			if a == u {
+				parent[u] = b
+			} else {
+				parent[u] = a
+			}
+		}
+		nbrs := g.Neighbors(u)
+		eids := g.IncidentEdges(u)
+		for i, v := range nbrs {
+			if inTree[v] {
+				continue
+			}
+			w := weight(int(eids[i]))
+			if !h.Contains(int(v)) {
+				if bestEdge[v] == -1 || w < h.Key(int(v)) {
+					bestEdge[v] = eids[i]
+				}
+				h.Push(int(v), w)
+			} else if w < h.Key(int(v)) {
+				bestEdge[v] = eids[i]
+				h.DecreaseKey(int(v), w)
+			}
+		}
+	}
+	t, err := graph.NewTree(g.N(), root, parent)
+	if err != nil {
+		// Prim over a connected component always yields a valid tree;
+		// reaching here is a bug, not an input error.
+		panic(fmt.Sprintf("mst: Prim built an invalid tree: %v", err))
+	}
+	return t
+}
+
+// TotalWeight sums weight over the given edge ids.
+func TotalWeight(ids []int, weight func(edgeID int) float64) float64 {
+	total := 0.0
+	for _, id := range ids {
+		total += weight(id)
+	}
+	return total
+}
+
+// LogSumExp accumulates a sum of terms exp(x_i), optionally scaled by a
+// non-negative multiplier, while only ever storing the log of the sum.
+// The spanning-tree packing compares Σ c_e·x_e against Cost(MST) where
+// c_e = exp(α·z_e) can overflow float64; both sides are accumulated here.
+type LogSumExp struct {
+	maxExp float64 // current reference exponent
+	sum    float64 // Σ m_i * exp(x_i - maxExp)
+	empty  bool
+}
+
+// NewLogSumExp returns an empty accumulator.
+func NewLogSumExp() *LogSumExp {
+	return &LogSumExp{maxExp: math.Inf(-1), empty: true}
+}
+
+// Add accumulates mult * exp(exponent). Zero multipliers are ignored.
+func (l *LogSumExp) Add(exponent, mult float64) {
+	if mult <= 0 {
+		return
+	}
+	x := exponent + math.Log(mult)
+	if l.empty {
+		l.maxExp = x
+		l.sum = 1
+		l.empty = false
+		return
+	}
+	if x > l.maxExp {
+		l.sum = l.sum*math.Exp(l.maxExp-x) + 1
+		l.maxExp = x
+	} else {
+		l.sum += math.Exp(x - l.maxExp)
+	}
+}
+
+// Log returns log(Σ m_i · exp(x_i)), or -Inf when empty.
+func (l *LogSumExp) Log() float64 {
+	if l.empty {
+		return math.Inf(-1)
+	}
+	return l.maxExp + math.Log(l.sum)
+}
+
+// GreaterThan reports whether this accumulated sum exceeds factor times
+// the other one, comparing in the log domain.
+func (l *LogSumExp) GreaterThan(other *LogSumExp, factor float64) bool {
+	if other.empty {
+		return !l.empty
+	}
+	if l.empty {
+		return false
+	}
+	return l.Log() > other.Log()+math.Log(factor)
+}

@@ -1,0 +1,156 @@
+package mst
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+func unitWeight(int) float64 { return 1 }
+
+func TestKruskalSpanningTreeSize(t *testing.T) {
+	g := graph.Hypercube(4)
+	chosen := Kruskal(g, unitWeight)
+	if len(chosen) != g.N()-1 {
+		t.Fatalf("MST has %d edges, want %d", len(chosen), g.N()-1)
+	}
+	uf := ds.NewUnionFind(g.N())
+	for _, id := range chosen {
+		u, v := g.Endpoints(id)
+		if !uf.Union(u, v) {
+			t.Fatalf("MST edge %d creates a cycle", id)
+		}
+	}
+	if uf.Sets() != 1 {
+		t.Fatal("MST does not span")
+	}
+}
+
+func TestKruskalRespectsWeights(t *testing.T) {
+	// Triangle with one heavy edge: the heavy edge must be excluded.
+	g := graph.FromEdgeList(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	heavy, ok := g.EdgeID(0, 2)
+	if !ok {
+		t.Fatal("edge (0,2) missing")
+	}
+	w := func(id int) float64 {
+		if id == heavy {
+			return 10
+		}
+		return 1
+	}
+	chosen := Kruskal(g, w)
+	for _, id := range chosen {
+		if id == heavy {
+			t.Fatal("heavy edge selected")
+		}
+	}
+}
+
+func TestKruskalForestOnDisconnected(t *testing.T) {
+	g := graph.FromEdgeList(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	chosen := Kruskal(g, unitWeight)
+	if len(chosen) != 3 {
+		t.Fatalf("forest has %d edges, want 3", len(chosen))
+	}
+}
+
+func TestPrimMatchesKruskalWeight(t *testing.T) {
+	rng := ds.NewRand(41)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnp(30, 0.2, rng)
+		if !graph.IsConnected(g) {
+			continue
+		}
+		weights := make([]float64, g.M())
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+		w := func(id int) float64 { return weights[id] }
+		kr := TotalWeight(Kruskal(g, w), w)
+		tree := Prim(g, 0, w)
+		var pr float64
+		tree.ForEachEdge(func(child, parent int) {
+			id, ok := g.EdgeID(child, parent)
+			if !ok {
+				t.Fatalf("Prim edge (%d,%d) not in graph", child, parent)
+			}
+			pr += w(id)
+		})
+		if math.Abs(kr-pr) > 1e-9 {
+			t.Fatalf("trial %d: Kruskal %.9f vs Prim %.9f", trial, kr, pr)
+		}
+		if !tree.IsSpanning(g) {
+			t.Fatalf("trial %d: Prim not spanning", trial)
+		}
+	}
+}
+
+func TestPrimSingleVertex(t *testing.T) {
+	g := graph.NewBuilder(1).Graph()
+	tree := Prim(g, 0, unitWeight)
+	if tree.Size() != 1 || tree.Root() != 0 {
+		t.Fatalf("single-vertex tree wrong: size=%d root=%d", tree.Size(), tree.Root())
+	}
+}
+
+func TestLogSumExpAgainstDirect(t *testing.T) {
+	l := NewLogSumExp()
+	terms := []struct{ exp, mult float64 }{
+		{0, 1}, {1, 0.5}, {2, 2}, {-3, 1},
+	}
+	direct := 0.0
+	for _, tm := range terms {
+		l.Add(tm.exp, tm.mult)
+		direct += tm.mult * math.Exp(tm.exp)
+	}
+	if got := l.Log(); math.Abs(got-math.Log(direct)) > 1e-12 {
+		t.Fatalf("Log = %.15f, want %.15f", got, math.Log(direct))
+	}
+}
+
+func TestLogSumExpHugeExponents(t *testing.T) {
+	// exp(5000) overflows float64; the accumulator must not.
+	l := NewLogSumExp()
+	l.Add(5000, 1)
+	l.Add(5001, 1)
+	want := 5001 + math.Log(1+math.Exp(-1))
+	if got := l.Log(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Log = %f, want %f", got, want)
+	}
+	if math.IsInf(l.Log(), 1) || math.IsNaN(l.Log()) {
+		t.Fatal("accumulator overflowed")
+	}
+}
+
+func TestLogSumExpGreaterThan(t *testing.T) {
+	a, b := NewLogSumExp(), NewLogSumExp()
+	a.Add(10, 1)
+	b.Add(9, 1)
+	if !a.GreaterThan(b, 1) {
+		t.Fatal("exp(10) should exceed exp(9)")
+	}
+	if a.GreaterThan(b, 5) {
+		t.Fatal("exp(10) should not exceed 5*exp(9)")
+	}
+	empty := NewLogSumExp()
+	if empty.GreaterThan(b, 1) {
+		t.Fatal("empty sum exceeds non-empty")
+	}
+	if !a.GreaterThan(empty, 1) {
+		t.Fatal("non-empty does not exceed empty")
+	}
+	if zero := NewLogSumExp(); zero.GreaterThan(empty, 1) {
+		t.Fatal("empty exceeds empty")
+	}
+}
+
+func TestLogSumExpIgnoresZeroMult(t *testing.T) {
+	l := NewLogSumExp()
+	l.Add(3, 0)
+	if !math.IsInf(l.Log(), -1) {
+		t.Fatal("zero multiplier contributed")
+	}
+}

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// Meter accumulates the cost of a run in the paper's units.
+type Meter struct {
+	// RawRounds counts engine rounds across all phases.
+	RawRounds int
+	// MeteredRounds counts rounds after slot serialization: a raw round
+	// where the busiest node (V-CONGEST) or edge direction (E-CONGEST)
+	// used s slots contributes s.
+	MeteredRounds int
+	// ChargedRounds are driver-added costs (BFS preprocessing,
+	// termination-detection barriers, meta-round simulation overhead).
+	ChargedRounds int
+	// Messages and Bits count everything sent (a broadcast to d
+	// neighbors counts as one message of its size; the V-CONGEST model
+	// charges a node once per local broadcast).
+	Messages int64
+	Bits     int64
+	// Phases counts completed RunPhase calls.
+	Phases int
+}
+
+// TotalRounds is the headline round complexity: slot-serialized rounds
+// plus explicit driver charges.
+func (m *Meter) TotalRounds() int { return m.MeteredRounds + m.ChargedRounds }
+
+// Charge adds driver-side rounds (e.g., a convergecast barrier) to the
+// meter, with a reason recorded only by the caller.
+func (m *Meter) Charge(rounds int) { m.ChargedRounds += rounds }
+
+// Engine executes Processes over a graph in synchronous rounds.
+type Engine struct {
+	g            *graph.Graph
+	model        Model
+	procs        []Process
+	contexts     []Context
+	inbox        [][]Delivery
+	nextInbox    [][]Delivery
+	meter        Meter
+	maxFieldBits int
+	workers      int
+	phaseRound   int
+	statuses     []Status
+	edgeSlots    []int32 // E-CONGEST per-directed-edge send counts, reused each round
+	observer     func(from, to int32, bits int)
+}
+
+// Option customizes engine construction.
+type Option func(*Engine)
+
+// WithWorkers sets the number of goroutines that execute node rounds.
+func WithWorkers(w int) Option {
+	return func(e *Engine) {
+		if w > 0 {
+			e.workers = w
+		}
+	}
+}
+
+// WithMaxFieldBits overrides the per-field bit budget (default
+// 2*ceil(log2(n+2))+8, i.e. O(log n)).
+func WithMaxFieldBits(b int) Option {
+	return func(e *Engine) {
+		if b > 0 {
+			e.maxFieldBits = b
+		}
+	}
+}
+
+// WithDeliveryObserver registers a callback invoked once per delivered
+// message copy (from, to, payload bits). The lower-bound experiments of
+// Appendix G use it to count the bits crossing a vertex separator, the
+// quantity Lemma G.6 bounds.
+func WithDeliveryObserver(fn func(from, to int32, bits int)) Option {
+	return func(e *Engine) { e.observer = fn }
+}
+
+// NewEngine builds an engine over g. Each node i runs procs[i]; the
+// seed drives every node's private random stream.
+func NewEngine(g *graph.Graph, model Model, procs []Process, seed uint64, opts ...Option) (*Engine, error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("sim: %d processes for %d nodes", len(procs), g.N())
+	}
+	if model != VCongest && model != ECongest {
+		return nil, fmt.Errorf("sim: unknown model %v", model)
+	}
+	e := &Engine{
+		g:            g,
+		model:        model,
+		procs:        procs,
+		contexts:     make([]Context, g.N()),
+		inbox:        make([][]Delivery, g.N()),
+		nextInbox:    make([][]Delivery, g.N()),
+		maxFieldBits: 2*ceilLog2(g.N()+2) + 8,
+		workers:      runtime.NumCPU(),
+		statuses:     make([]Status, g.N()),
+	}
+	if model == ECongest {
+		e.edgeSlots = make([]int32, 2*g.M())
+	}
+	for i := range e.contexts {
+		e.contexts[i] = Context{
+			engine: e,
+			node:   int32(i),
+			rng:    ds.SplitRand(seed, uint64(i)),
+		}
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// Meter returns the accumulated cost meter.
+func (e *Engine) Meter() *Meter { return &e.meter }
+
+// Graph returns the underlying topology.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Model returns the congestion model in force.
+func (e *Engine) Model() Model { return e.model }
+
+func (e *Engine) checkMessage(m Message) error {
+	for _, f := range m.F {
+		if fb := fieldBits(f); fb > e.maxFieldBits {
+			return fmt.Errorf("sim: field %d needs %d bits, budget %d", f, fb, e.maxFieldBits)
+		}
+	}
+	return nil
+}
+
+// RunPhase executes rounds until every process returns Done in the same
+// round, or maxRounds elapse (an error). Message buffers carry over
+// between phases: messages sent in the final round of a phase are
+// delivered in the first round of the next.
+func (e *Engine) RunPhase(maxRounds int) error {
+	e.phaseRound = 0
+	for r := 0; r < maxRounds; r++ {
+		allDone, err := e.step()
+		if err != nil {
+			return err
+		}
+		e.phaseRound++
+		if allDone {
+			e.meter.Phases++
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: phase did not converge within %d rounds", maxRounds)
+}
+
+// step runs one synchronous round: parallel Round calls, then message
+// routing and metering.
+func (e *Engine) step() (allDone bool, err error) {
+	n := e.g.N()
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				ctx := &e.contexts[v]
+				ctx.out = ctx.out[:0]
+				ctx.slotsUsed = 0
+				e.statuses[v] = e.procs[v].Round(ctx, e.inbox[v])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	for v := range e.contexts {
+		if e.contexts[v].violation != nil {
+			return false, e.contexts[v].violation
+		}
+	}
+
+	// Route outboxes into next-round inboxes, deterministically by
+	// sender id. Meter slots for serialization charges.
+	for v := range e.nextInbox {
+		e.nextInbox[v] = e.nextInbox[v][:0]
+	}
+	maxSlots := int32(0)
+	if e.model == ECongest {
+		for i := range e.edgeSlots {
+			e.edgeSlots[i] = 0
+		}
+	}
+	for v := 0; v < n; v++ {
+		ctx := &e.contexts[v]
+		if e.model == VCongest && ctx.slotsUsed > maxSlots {
+			maxSlots = ctx.slotsUsed
+		}
+		for _, om := range ctx.out {
+			if om.target < 0 { // broadcast
+				e.meter.Messages++
+				e.meter.Bits += int64(om.msg.BitSize())
+				for _, w := range e.g.Neighbors(v) {
+					e.nextInbox[w] = append(e.nextInbox[w], Delivery{From: int32(v), Slot: om.slot, Msg: om.msg})
+					if e.observer != nil {
+						e.observer(int32(v), w, om.msg.BitSize())
+					}
+				}
+				if e.model == ECongest {
+					// A broadcast in E-CONGEST occupies one slot on
+					// each incident edge direction.
+					for _, eid := range e.g.IncidentEdges(v) {
+						dir := e.dirIndex(v, int(eid))
+						e.edgeSlots[dir]++
+						if e.edgeSlots[dir] > maxSlots {
+							maxSlots = e.edgeSlots[dir]
+						}
+					}
+					e.meter.Messages += int64(e.g.Degree(v) - 1) // one message per edge
+					e.meter.Bits += int64(om.msg.BitSize()) * int64(e.g.Degree(v)-1)
+				}
+			} else {
+				nbr := e.g.Neighbors(v)[om.target]
+				eid := e.g.IncidentEdges(v)[om.target]
+				dir := e.dirIndex(v, int(eid))
+				slot := e.edgeSlots[dir]
+				e.edgeSlots[dir]++
+				if e.edgeSlots[dir] > maxSlots {
+					maxSlots = e.edgeSlots[dir]
+				}
+				e.meter.Messages++
+				e.meter.Bits += int64(om.msg.BitSize())
+				e.nextInbox[nbr] = append(e.nextInbox[nbr], Delivery{From: int32(v), Slot: slot, Msg: om.msg})
+				if e.observer != nil {
+					e.observer(int32(v), nbr, om.msg.BitSize())
+				}
+			}
+		}
+	}
+	if maxSlots < 1 {
+		maxSlots = 1
+	}
+	e.meter.RawRounds++
+	e.meter.MeteredRounds += int(maxSlots)
+	e.inbox, e.nextInbox = e.nextInbox, e.inbox
+
+	allDone = true
+	for v := 0; v < n; v++ {
+		if e.statuses[v] != Done {
+			allDone = false
+			break
+		}
+	}
+	return allDone, nil
+}
+
+// dirIndex maps (tail vertex, edge id) to a directed-edge index in
+// [0, 2m): edge id e has directions 2e (from U) and 2e+1 (from V).
+func (e *Engine) dirIndex(tail, edgeID int) int {
+	u, _ := e.g.Endpoints(edgeID)
+	if tail == u {
+		return 2 * edgeID
+	}
+	return 2*edgeID + 1
+}

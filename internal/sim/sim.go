@@ -1,0 +1,179 @@
+// Package sim implements the synchronous message-passing models of the
+// paper (Section 1.2): V-CONGEST, where each node locally broadcasts one
+// O(log n)-bit message per round, and E-CONGEST, where one O(log n)-bit
+// message crosses each edge direction per round.
+//
+// Protocols are state machines implementing Process; a driver composes
+// phases by calling Engine.RunPhase repeatedly. The engine meters rounds
+// the way the paper does: a round in which some node uses s message
+// slots is charged as s rounds (slots serialize under a globally known
+// schedule), and driver-side glue such as termination-detection
+// convergecasts is charged explicitly via Meter.Charge.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Model selects which congestion constraint the engine enforces.
+type Model int
+
+const (
+	// VCongest allows each node one local-broadcast slot per round.
+	VCongest Model = iota + 1
+	// ECongest allows one message per edge direction per round.
+	ECongest
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case VCongest:
+		return "V-CONGEST"
+	case ECongest:
+		return "E-CONGEST"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Message is a bounded message: one kind byte plus up to four integer
+// fields, each restricted to O(log n) bits by the engine. Unused fields
+// stay zero and cost nothing.
+type Message struct {
+	Kind uint8
+	F    [4]int64
+}
+
+// Msg builds a Message from a kind and up to four fields.
+func Msg(kind uint8, fields ...int64) Message {
+	m := Message{Kind: kind}
+	copy(m.F[:], fields)
+	return m
+}
+
+// BitSize returns the size of the message in bits: 8 for the kind plus
+// the signed bit-length of each non-zero field.
+func (m Message) BitSize() int {
+	b := 8
+	for _, f := range m.F {
+		b += fieldBits(f)
+	}
+	return b
+}
+
+func fieldBits(f int64) int {
+	if f == 0 {
+		return 0
+	}
+	if f < 0 {
+		f = -f
+	}
+	return bits.Len64(uint64(f)) + 1 // +1 sign bit
+}
+
+// Delivery is a received message together with its sender and the slot
+// it was sent in.
+type Delivery struct {
+	From int32
+	Slot int32
+	Msg  Message
+}
+
+// Status is returned by Process.Round each round.
+type Status int
+
+const (
+	// Active means the node is still working on the current phase.
+	Active Status = iota
+	// Done means the node is locally finished with the current phase;
+	// the phase ends when every node reports Done in the same round.
+	Done
+)
+
+// Process is a node-local protocol state machine. Round is called once
+// per synchronous round with all messages delivered this round; it may
+// send via ctx and must not touch any other node's state.
+//
+// Contract: a node that sends in a round must return Active for that
+// round. A phase ends when every node returns Done in the same round;
+// because Done nodes sent nothing, all-Done implies global quiescence.
+// The first round of the first phase has an empty inbox; messages sent
+// in the last round of a phase are delivered in the first round of the
+// next phase.
+type Process interface {
+	Round(ctx *Context, inbox []Delivery) Status
+}
+
+// Context is the per-node view of the network handed to Process.Round.
+type Context struct {
+	engine *Engine
+	node   int32
+	rng    *rand.Rand
+
+	// outbox for the current round; target = -1 means local broadcast.
+	out       []outMsg
+	slotsUsed int32
+	violation error
+}
+
+type outMsg struct {
+	target int32 // neighbor index in Neighbors(), or -1 for broadcast
+	slot   int32
+	msg    Message
+}
+
+// ID returns this node's identifier in [0, N()).
+func (c *Context) ID() int { return int(c.node) }
+
+// N returns the number of nodes. The paper grants this knowledge after
+// an O(D) preprocessing phase (Section 2), which drivers charge.
+func (c *Context) N() int { return c.engine.g.N() }
+
+// Round returns the current round number within the running phase.
+func (c *Context) Round() int { return c.engine.phaseRound }
+
+// Degree returns this node's degree.
+func (c *Context) Degree() int { return c.engine.g.Degree(int(c.node)) }
+
+// Neighbors returns this node's sorted neighbor list (shared slice).
+func (c *Context) Neighbors() []int32 { return c.engine.g.Neighbors(int(c.node)) }
+
+// Rand returns this node's private random stream.
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Broadcast sends msg to all neighbors, consuming one slot. Multiple
+// broadcasts per round are allowed and metered: a round where some node
+// uses s slots is charged as s rounds.
+func (c *Context) Broadcast(msg Message) {
+	if err := c.engine.checkMessage(msg); err != nil && c.violation == nil {
+		c.violation = fmt.Errorf("node %d round %d: %w", c.node, c.engine.phaseRound, err)
+		return
+	}
+	c.out = append(c.out, outMsg{target: -1, slot: c.slotsUsed, msg: msg})
+	c.slotsUsed++
+}
+
+// Send sends msg to the neighbor at index nbrIndex in Neighbors(). It is
+// only legal in the E-CONGEST model.
+func (c *Context) Send(nbrIndex int, msg Message) {
+	if c.engine.model != ECongest {
+		if c.violation == nil {
+			c.violation = fmt.Errorf("node %d round %d: Send is illegal in %v", c.node, c.engine.phaseRound, c.engine.model)
+		}
+		return
+	}
+	if nbrIndex < 0 || nbrIndex >= c.Degree() {
+		if c.violation == nil {
+			c.violation = fmt.Errorf("node %d round %d: neighbor index %d out of range", c.node, c.engine.phaseRound, nbrIndex)
+		}
+		return
+	}
+	if err := c.engine.checkMessage(msg); err != nil && c.violation == nil {
+		c.violation = fmt.Errorf("node %d round %d: %w", c.node, c.engine.phaseRound, err)
+		return
+	}
+	c.out = append(c.out, outMsg{target: int32(nbrIndex), slot: 0, msg: msg})
+}

@@ -1,0 +1,401 @@
+// Package stp implements the fractional spanning-tree packing of
+// Theorem 1.3: size ⌈(λ-1)/2⌉(1-ε) for graphs with edge connectivity λ.
+//
+// The core is the Lagrangian-relaxation loop of Section 5.1: maintain a
+// weighted tree collection of total weight 1, penalize loaded edges with
+// exponential costs c_e = exp(α·z_e), and repeatedly add the MST under
+// those costs until Cost(MST) > (1-ε)·Σ c_e·x_e, at which point Lemma
+// F.1 guarantees max_e z_e <= 1+6ε. Costs are handled in the log domain
+// (mst.LogSumExp), so large exponents never overflow.
+//
+// For general λ, Section 5.2's random edge-sampling splits the graph
+// into η spanning subgraphs of edge connectivity Θ(log n/ε²) each and
+// packs them independently; edge-disjointness makes the union valid.
+package stp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/mst"
+)
+
+// Tree is one weighted spanning tree of a packing.
+type Tree struct {
+	Tree   *graph.Tree
+	Weight float64
+}
+
+// Packing is a fractional spanning tree packing: Σ_{τ∋e} w_τ <= 1 for
+// every edge e.
+type Packing struct {
+	Trees []Tree
+	Stats Stats
+}
+
+// Stats records the run diagnostics.
+type Stats struct {
+	// Lambda is the edge connectivity (or estimate) the run scaled by.
+	Lambda int
+	// Iterations counts MWU iterations across all subgraphs.
+	Iterations int
+	// MaxLoad is max_e z_e before rescaling (Lemma F.1 bounds it 1+6ε).
+	MaxLoad float64
+	// Subgraphs is η, the number of sampled subgraphs (1 = no sampling).
+	Subgraphs int
+	// DistinctTrees counts distinct trees in the collection.
+	DistinctTrees int
+}
+
+// Size returns Σ w_τ.
+func (p *Packing) Size() float64 {
+	s := 0.0
+	for _, t := range p.Trees {
+		s += t.Weight
+	}
+	return s
+}
+
+// MaxEdgeLoad returns max_e Σ_{τ∋e} w_τ.
+func (p *Packing) MaxEdgeLoad(g *graph.Graph) float64 {
+	load := make([]float64, g.M())
+	for _, t := range p.Trees {
+		t.Tree.ForEachEdge(func(child, parent int) {
+			if id, ok := g.EdgeID(child, parent); ok {
+				load[id] += t.Weight
+			}
+		})
+	}
+	max := 0.0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MaxEdgeTreeCount returns the maximum number of distinct trees using a
+// single edge (Theorem 1.3's O(log^3 n) bound).
+func (p *Packing) MaxEdgeTreeCount(g *graph.Graph) int {
+	count := make([]int, g.M())
+	for _, t := range p.Trees {
+		t.Tree.ForEachEdge(func(child, parent int) {
+			if id, ok := g.EdgeID(child, parent); ok {
+				count[id]++
+			}
+		})
+	}
+	max := 0
+	for _, c := range count {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Validate checks that every tree is a spanning tree of g with positive
+// weight and that no edge carries load above 1 (+eps).
+func (p *Packing) Validate(g *graph.Graph) error {
+	for i, t := range p.Trees {
+		if t.Weight <= 0 {
+			return fmt.Errorf("stp: tree %d has non-positive weight %f", i, t.Weight)
+		}
+		if !t.Tree.IsSpanning(g) {
+			return fmt.Errorf("stp: tree %d is not spanning", i)
+		}
+		if err := t.Tree.ValidateIn(g); err != nil {
+			return fmt.Errorf("stp: tree %d: %w", i, err)
+		}
+	}
+	if load := p.MaxEdgeLoad(g); load > 1+1e-9 {
+		return fmt.Errorf("stp: max edge load %f exceeds 1", load)
+	}
+	return nil
+}
+
+// Options configures the packing. The zero value is usable.
+type Options struct {
+	// Seed drives the randomness (edge sampling).
+	Seed uint64
+	// Epsilon is the paper's ε (default 0.1).
+	Epsilon float64
+	// MaxIters caps the MWU iterations per subgraph (default Θ(log^3 n),
+	// at least 256).
+	MaxIters int
+	// KnownLambda skips connectivity estimation when > 0. Otherwise λ is
+	// computed exactly with Stoer–Wagner (standing in for the paper's
+	// distributed 3-approximation of [21]; see DESIGN.md).
+	KnownLambda int
+	// SampleThreshold: subgraph sampling kicks in when λ exceeds this
+	// multiple of log n/ε² (paper: constant ~20; default 6, scaled for
+	// laptop-size graphs).
+	SampleThreshold float64
+}
+
+func (o Options) normalize(n int) Options {
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		o.Epsilon = 0.1
+	}
+	if o.MaxIters <= 0 {
+		// Θ(log^3 n)-flavored cap with the constants the analysis hides;
+		// the loop normally stops far earlier via the Lemma F.1 test.
+		l := math.Log2(float64(n) + 2)
+		o.MaxIters = int(80 * l * l * l / o.Epsilon)
+		if o.MaxIters < 2000 {
+			o.MaxIters = 2000
+		}
+		if o.MaxIters > 60000 {
+			o.MaxIters = 60000
+		}
+	}
+	if o.SampleThreshold <= 0 {
+		o.SampleThreshold = 6
+	}
+	return o
+}
+
+// Pack computes a fractional spanning tree packing of g of size
+// ⌈(λ-1)/2⌉(1-O(ε)).
+func Pack(g *graph.Graph, opts Options) (*Packing, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("stp: graph too small (n=%d)", n)
+	}
+	if !graph.IsConnected(g) {
+		return nil, fmt.Errorf("stp: graph disconnected")
+	}
+	opts = opts.normalize(n)
+	lambda := opts.KnownLambda
+	if lambda <= 0 {
+		lambda = flow.StoerWagner(g)
+	}
+	if lambda < 1 {
+		return nil, fmt.Errorf("stp: edge connectivity %d < 1", lambda)
+	}
+
+	logn := math.Log2(float64(n) + 2)
+	cutoff := opts.SampleThreshold * logn / (opts.Epsilon * opts.Epsilon)
+	if float64(lambda) <= cutoff {
+		p, err := packLowLambda(g, lambda, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Stats.Subgraphs = 1
+		return p, nil
+	}
+
+	// Section 5.2: split edges into η random subgraphs so each keeps
+	// edge connectivity Θ(log n/ε²) w.h.p., pack each, and take the
+	// union (valid because the subgraphs are edge-disjoint).
+	eta := int(float64(lambda) / cutoff)
+	if eta < 2 {
+		eta = 2
+	}
+	rng := ds.NewRand(opts.Seed ^ 0x5eed)
+	assign := make([]int, g.M())
+	for e := range assign {
+		assign[e] = rng.IntN(eta)
+	}
+	var out Packing
+	out.Stats.Lambda = lambda
+	out.Stats.Subgraphs = eta
+	for i := 0; i < eta; i++ {
+		sub := g.SubgraphByEdges(func(id int) bool { return assign[id] == i })
+		if !graph.IsConnected(sub) {
+			// Sampling failed for this subgraph (low-probability event);
+			// skip it — the remaining subgraphs still pack Ω(λ).
+			continue
+		}
+		subLambda := flow.StoerWagner(sub)
+		if subLambda < 1 {
+			continue
+		}
+		subOpts := opts
+		subOpts.KnownLambda = subLambda
+		sp, err := packLowLambda(sub, subLambda, subOpts)
+		if err != nil {
+			return nil, fmt.Errorf("stp: subgraph %d: %w", i, err)
+		}
+		// Trees of a spanning subgraph are spanning trees of g; re-host
+		// them (edges exist in g by construction).
+		out.Trees = append(out.Trees, sp.Trees...)
+		out.Stats.Iterations += sp.Stats.Iterations
+		if sp.Stats.MaxLoad > out.Stats.MaxLoad {
+			out.Stats.MaxLoad = sp.Stats.MaxLoad
+		}
+		out.Stats.DistinctTrees += sp.Stats.DistinctTrees
+	}
+	if len(out.Trees) == 0 {
+		return nil, fmt.Errorf("stp: all %d sampled subgraphs were disconnected", eta)
+	}
+	return &out, nil
+}
+
+// packLowLambda is the Section 5.1 loop for λ = O(log n).
+func packLowLambda(g *graph.Graph, lambda int, opts Options) (*Packing, error) {
+	n := g.N()
+	m := g.M()
+	halfLam := ceilHalf(lambda - 1) // ⌈(λ-1)/2⌉, the Tutte/Nash-Williams bound
+	if halfLam < 1 {
+		halfLam = 1
+	}
+	eps := opts.Epsilon
+	alpha := math.Log(2*float64(m)/eps) / eps
+
+	// Collection state: distinct trees keyed by edge-set signature, with
+	// accumulated weights; per-edge load x_e maintained incrementally.
+	type entry struct {
+		tree   *graph.Tree
+		weight float64
+	}
+	collection := make(map[string]*entry)
+	x := make([]float64, m)
+
+	addTree := func(edgeIDs []int, beta float64) {
+		// Scale the old collection by (1-beta) and fold the new tree in.
+		for key := range collection {
+			collection[key].weight *= 1 - beta
+		}
+		for e := range x {
+			x[e] *= 1 - beta
+		}
+		sort.Ints(edgeIDs)
+		sig := signature(edgeIDs)
+		if cur, ok := collection[sig]; ok {
+			cur.weight += beta
+		} else {
+			collection[sig] = &entry{tree: treeFromEdges(g, edgeIDs), weight: beta}
+		}
+		for _, e := range edgeIDs {
+			x[e] += beta
+		}
+	}
+
+	// Start with an arbitrary spanning tree at weight 1.
+	first := mst.Kruskal(g, func(int) float64 { return 1 })
+	if len(first) != n-1 {
+		return nil, fmt.Errorf("stp: initial spanning tree incomplete")
+	}
+	addTree(first, 1)
+
+	beta := 1 / (alpha * float64(halfLam))
+	iterations := 0
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		iterations++
+		// z_e = x_e * halfLam; MST under c_e = exp(alpha*z_e) — order is
+		// monotone in z_e, so Kruskal can sort by z_e directly.
+		chosen := mst.Kruskal(g, func(e int) float64 { return x[e] })
+		costMST := mst.NewLogSumExp()
+		for _, e := range chosen {
+			costMST.Add(alpha*x[e]*float64(halfLam), 1)
+		}
+		costAll := mst.NewLogSumExp()
+		maxZ := 0.0
+		for e := 0; e < m; e++ {
+			z := x[e] * float64(halfLam)
+			costAll.Add(alpha*z, x[e])
+			if z > maxZ {
+				maxZ = z
+			}
+		}
+		if costMST.GreaterThan(costAll, 1-eps) {
+			break // Lemma F.1: max_e z_e <= 1+6ε
+		}
+		if maxZ <= 1+2*eps {
+			break // direct load check — a centralized shortcut to the
+			// same guarantee the MST-cost test certifies
+		}
+		addTree(chosen, beta)
+	}
+
+	maxZ := 0.0
+	for e := 0; e < m; e++ {
+		if z := x[e] * float64(halfLam); z > maxZ {
+			maxZ = z
+		}
+	}
+	if maxZ <= 0 {
+		maxZ = 1
+	}
+	// Rescale: weights w_τ*halfLam/maxZ give per-edge load z_e/maxZ <= 1
+	// and total size halfLam/maxZ >= halfLam(1-O(ε)).
+	scale := float64(halfLam) / maxZ
+	p := &Packing{Stats: Stats{Lambda: lambda, Iterations: iterations, MaxLoad: maxZ}}
+	for _, ent := range collection {
+		if w := ent.weight * scale; w > 1e-12 {
+			p.Trees = append(p.Trees, Tree{Tree: ent.tree, Weight: w})
+		}
+	}
+	p.Stats.DistinctTrees = len(p.Trees)
+	return p, nil
+}
+
+func ceilHalf(x int) int {
+	if x <= 0 {
+		return 0
+	}
+	return (x + 1) / 2
+}
+
+func signature(sortedEdgeIDs []int) string {
+	buf := make([]byte, 0, 4*len(sortedEdgeIDs))
+	for _, e := range sortedEdgeIDs {
+		buf = append(buf, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(buf)
+}
+
+func treeFromEdges(g *graph.Graph, edgeIDs []int) *graph.Tree {
+	b := graph.NewBuilder(g.N())
+	for _, e := range edgeIDs {
+		u, v := g.Endpoints(e)
+		b.AddEdge(u, v)
+	}
+	return graph.TreeFromBFS(b.Graph(), 0)
+}
+
+// IntegralPack produces edge-disjoint spanning trees of count
+// Ω(λ/log n): partition the edges into η = max(1, λ/(c·log n)) random
+// groups and keep one spanning tree from each connected group (the
+// "considerably simpler variant" noted under Theorem 1.3).
+func IntegralPack(g *graph.Graph, opts Options) ([]*graph.Tree, error) {
+	n := g.N()
+	if n < 2 || !graph.IsConnected(g) {
+		return nil, fmt.Errorf("stp: need a connected graph with n >= 2")
+	}
+	opts = opts.normalize(n)
+	lambda := opts.KnownLambda
+	if lambda <= 0 {
+		lambda = flow.StoerWagner(g)
+	}
+	logn := math.Log2(float64(n) + 2)
+	eta := int(float64(lambda) / (3 * logn))
+	if eta < 1 {
+		eta = 1
+	}
+	rng := ds.NewRand(opts.Seed ^ 0x1f7e)
+	assign := make([]int, g.M())
+	for e := range assign {
+		assign[e] = rng.IntN(eta)
+	}
+	var out []*graph.Tree
+	for i := 0; i < eta; i++ {
+		sub := g.SubgraphByEdges(func(id int) bool { return assign[id] == i })
+		if !graph.IsConnected(sub) {
+			continue
+		}
+		tree := graph.TreeFromBFS(sub, 0)
+		// Rebuild over g's vertex ids (identical since sub is spanning).
+		out = append(out, tree)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stp: no connected sampled subgraph (λ=%d too small for η=%d)", lambda, eta)
+	}
+	return out, nil
+}

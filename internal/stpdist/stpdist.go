@@ -1,0 +1,341 @@
+// Package stpdist implements the distributed fractional spanning-tree
+// packing of Theorem 1.3 in the E-CONGEST model (Section 5).
+//
+// Each MWU iteration runs one distributed MST (internal/dist's Borůvka
+// phases standing in for Kutten–Peleg, DESIGN.md substitution 2) under
+// edge loads quantized to multiples of Θ(1/n) — the paper's footnote-6
+// rounding that keeps messages within O(log n) bits. The
+// stop-or-continue decision is the leader's: we compute it driver-side
+// and charge one BFS-tree convergecast (D rounds) per iteration, as the
+// paper describes.
+//
+// For general λ, the η sampled subgraphs are edge-disjoint, so their
+// MSTs compose congestion-free in E-CONGEST: a joint iteration is
+// metered as the maximum of the per-subgraph MST rounds (Lemma 5.1's
+// parallel composition), plus the shared convergecast.
+package stpdist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/ds"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/sim"
+	"repro/internal/stp"
+)
+
+// Result is a distributed packing outcome with its cost meter.
+type Result struct {
+	Packing *stp.Packing
+	Meter   sim.Meter
+}
+
+// Pack computes the fractional spanning-tree packing distributedly.
+func Pack(g *graph.Graph, opts stp.Options) (*Result, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("stpdist: graph too small (n=%d)", n)
+	}
+	if !graph.IsConnected(g) {
+		return nil, fmt.Errorf("stpdist: graph disconnected")
+	}
+	opts = normalize(opts, n)
+	lambda := opts.KnownLambda
+	var meter sim.Meter
+	if lambda <= 0 {
+		// The paper uses the distributed min-cut 3-approximation of [21]
+		// in O~(D+sqrt(n)) rounds; we substitute the exact value and
+		// charge that bound (DESIGN.md substitution 5).
+		lambda = flow.StoerWagner(g)
+		d := approxD(g)
+		charge := float64(d) + math.Sqrt(float64(n))*math.Log2(float64(n)+2)
+		meter.Charge(int(charge))
+	}
+	if lambda < 1 {
+		return nil, fmt.Errorf("stpdist: edge connectivity %d < 1", lambda)
+	}
+
+	logn := math.Log2(float64(n) + 2)
+	cutoff := opts.SampleThreshold * logn / (opts.Epsilon * opts.Epsilon)
+	subgraphs := []*graph.Graph{g}
+	eta := 1
+	if float64(lambda) > cutoff {
+		eta = int(float64(lambda) / cutoff)
+		if eta < 2 {
+			eta = 2
+		}
+		rng := ds.NewRand(opts.Seed ^ 0x5eed)
+		assign := make([]int, g.M())
+		for e := range assign {
+			assign[e] = rng.IntN(eta)
+		}
+		subgraphs = subgraphs[:0]
+		for i := 0; i < eta; i++ {
+			idx := i
+			sub := g.SubgraphByEdges(func(id int) bool { return assign[id] == idx })
+			if graph.IsConnected(sub) {
+				subgraphs = append(subgraphs, sub)
+			}
+		}
+		if len(subgraphs) == 0 {
+			return nil, fmt.Errorf("stpdist: all %d sampled subgraphs disconnected", eta)
+		}
+	}
+
+	out := &stp.Packing{Stats: stp.Stats{Lambda: lambda, Subgraphs: eta}}
+	states := make([]*mwuState, len(subgraphs))
+	for i, sub := range subgraphs {
+		subLambda := lambda
+		if eta > 1 {
+			subLambda = flow.StoerWagner(sub)
+		}
+		if subLambda < 1 {
+			continue
+		}
+		states[i] = newMWUState(sub, subLambda, opts)
+	}
+
+	d := approxD(g)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		anyActive := false
+		iterRounds := 0
+		for i, st := range states {
+			if st == nil || st.done {
+				continue
+			}
+			anyActive = true
+			rounds, err := st.step(opts.Seed + uint64(iter*len(states)+i))
+			if err != nil {
+				return nil, fmt.Errorf("stpdist: subgraph %d iteration %d: %w", i, iter, err)
+			}
+			// Lemma 5.1: edge-disjoint subgraphs run simultaneously; the
+			// joint iteration costs the maximum, not the sum.
+			if rounds > iterRounds {
+				iterRounds = rounds
+			}
+			addBitsAndMessages(&meter, &st.lastMeter)
+		}
+		if !anyActive {
+			break
+		}
+		meter.MeteredRounds += iterRounds
+		meter.Charge(d + len(states)) // leader decision convergecast
+		out.Stats.Iterations++
+	}
+
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		p := st.finish()
+		out.Trees = append(out.Trees, p.Trees...)
+		out.Stats.DistinctTrees += p.Stats.DistinctTrees
+		if p.Stats.MaxLoad > out.Stats.MaxLoad {
+			out.Stats.MaxLoad = p.Stats.MaxLoad
+		}
+	}
+	if len(out.Trees) == 0 {
+		return nil, fmt.Errorf("stpdist: empty packing")
+	}
+	return &Result{Packing: out, Meter: meter}, nil
+}
+
+func normalize(o stp.Options, n int) stp.Options {
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		o.Epsilon = 0.15
+	}
+	if o.MaxIters <= 0 {
+		l := math.Log2(float64(n) + 2)
+		o.MaxIters = int(40 * l * l * l / o.Epsilon)
+		if o.MaxIters < 1000 {
+			o.MaxIters = 1000
+		}
+		if o.MaxIters > 20000 {
+			o.MaxIters = 20000
+		}
+	}
+	if o.SampleThreshold <= 0 {
+		o.SampleThreshold = 6
+	}
+	return o
+}
+
+func approxD(g *graph.Graph) int {
+	d := graph.ApproxDiameter(g)
+	if d < 1 {
+		d = g.N()
+	}
+	return d
+}
+
+func addBitsAndMessages(dst *sim.Meter, src *sim.Meter) {
+	dst.RawRounds += src.RawRounds
+	dst.Messages += src.Messages
+	dst.Bits += src.Bits
+	dst.Phases += src.Phases
+	// MeteredRounds handled by the caller (parallel composition).
+}
+
+// mwuState is the per-subgraph MWU loop state.
+type mwuState struct {
+	g       *graph.Graph
+	lambda  int
+	halfLam int
+	eps     float64
+	alpha   float64
+	beta    float64
+	x       []float64
+	trees   map[string]*treeEntry
+	done    bool
+	// lastMeter is the cost of the most recent distributed MST.
+	lastMeter sim.Meter
+	maxIters  int
+	iters     int
+}
+
+type treeEntry struct {
+	tree   *graph.Tree
+	weight float64
+}
+
+func newMWUState(g *graph.Graph, lambda int, opts stp.Options) *mwuState {
+	halfLam := ceilHalf(lambda - 1) // ⌈(λ-1)/2⌉
+	if halfLam < 1 {
+		halfLam = 1
+	}
+	eps := opts.Epsilon
+	m := g.M()
+	alpha := math.Log(2*float64(m)/eps) / eps
+	st := &mwuState{
+		g:        g,
+		lambda:   lambda,
+		halfLam:  halfLam,
+		eps:      eps,
+		alpha:    alpha,
+		beta:     1 / (alpha * float64(halfLam)),
+		x:        make([]float64, m),
+		trees:    make(map[string]*treeEntry),
+		maxIters: opts.MaxIters,
+	}
+	return st
+}
+
+// step runs one distributed MWU iteration and returns the MST's metered
+// rounds. It sets done when the Lemma F.1 condition (or the direct load
+// check) fires.
+func (st *mwuState) step(seed uint64) (int, error) {
+	st.iters++
+	// Quantize z_e to multiples of 1/(4n) (footnote 6) so MST messages
+	// stay within O(log n) bits.
+	scale := int64(4 * st.g.N())
+	weights := make([]int64, st.g.M())
+	maxZ := 0.0
+	for e := range weights {
+		z := st.x[e] * float64(st.halfLam)
+		if z > maxZ {
+			maxZ = z
+		}
+		q := int64(math.Round(z * float64(scale) / 4)) // z <= ~4 after start
+		weights[e] = q
+	}
+	chosen, meter, err := dist.MST(st.g, sim.ECongest, weights, seed, 0)
+	if err != nil {
+		return 0, err
+	}
+	st.lastMeter = meter
+
+	costMST := mst.NewLogSumExp()
+	for _, e := range chosen {
+		costMST.Add(st.alpha*st.x[e]*float64(st.halfLam), 1)
+	}
+	costAll := mst.NewLogSumExp()
+	for e := range st.x {
+		costAll.Add(st.alpha*st.x[e]*float64(st.halfLam), st.x[e])
+	}
+	if st.iters > 1 && (costMST.GreaterThan(costAll, 1-st.eps) || maxZ <= 1+2*st.eps) {
+		st.done = true
+		return meter.TotalRounds(), nil
+	}
+	st.addTree(chosen)
+	return meter.TotalRounds(), nil
+}
+
+func (st *mwuState) addTree(edgeIDs []int) {
+	beta := st.beta
+	if len(st.trees) == 0 {
+		beta = 1 // first tree takes all the weight
+	}
+	for key := range st.trees {
+		st.trees[key].weight *= 1 - beta
+	}
+	for e := range st.x {
+		st.x[e] *= 1 - beta
+	}
+	sig := signature(edgeIDs)
+	if cur, ok := st.trees[sig]; ok {
+		cur.weight += beta
+	} else {
+		st.trees[sig] = &treeEntry{tree: treeFromEdges(st.g, edgeIDs), weight: beta}
+	}
+	for _, e := range edgeIDs {
+		st.x[e] += beta
+	}
+}
+
+// finish rescales the collection into a valid packing, exactly as the
+// centralized code does.
+func (st *mwuState) finish() *stp.Packing {
+	maxZ := 0.0
+	for e := range st.x {
+		if z := st.x[e] * float64(st.halfLam); z > maxZ {
+			maxZ = z
+		}
+	}
+	if maxZ <= 0 {
+		maxZ = 1
+	}
+	scaleW := float64(st.halfLam) / maxZ
+	p := &stp.Packing{Stats: stp.Stats{Lambda: st.lambda, Iterations: st.iters, MaxLoad: maxZ}}
+	for _, ent := range st.trees {
+		if w := ent.weight * scaleW; w > 1e-12 {
+			p.Trees = append(p.Trees, stp.Tree{Tree: ent.tree, Weight: w})
+		}
+	}
+	p.Stats.DistinctTrees = len(p.Trees)
+	return p
+}
+
+func ceilHalf(x int) int {
+	if x <= 0 {
+		return 0
+	}
+	return (x + 1) / 2
+}
+
+func signature(edgeIDs []int) string {
+	// edge ids are unique per tree; sort-free signature via sorted copy.
+	ids := append([]int(nil), edgeIDs...)
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	buf := make([]byte, 0, 4*len(ids))
+	for _, e := range ids {
+		buf = append(buf, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(buf)
+}
+
+func treeFromEdges(g *graph.Graph, edgeIDs []int) *graph.Tree {
+	b := graph.NewBuilder(g.N())
+	for _, e := range edgeIDs {
+		u, v := g.Endpoints(e)
+		b.AddEdge(u, v)
+	}
+	return graph.TreeFromBFS(b.Graph(), 0)
+}

@@ -1,0 +1,115 @@
+package stpdist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stp"
+)
+
+func TestPackValidation(t *testing.T) {
+	if _, err := Pack(graph.NewBuilder(1).Graph(), stp.Options{}); err == nil {
+		t.Fatal("single vertex accepted")
+	}
+	if _, err := Pack(graph.FromEdgeList(3, [][2]int{{0, 1}}), stp.Options{}); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestDistributedPackCycle(t *testing.T) {
+	g := graph.Cycle(10) // λ=2, one tree of weight 1 is the target
+	res, err := Pack(g, stp.Options{Seed: 1, KnownLambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Packing.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Packing.Size(); s < 0.8 || s > 1+1e-9 {
+		t.Fatalf("size = %f, want about 1", s)
+	}
+	if res.Meter.TotalRounds() == 0 || res.Meter.Messages == 0 {
+		t.Fatalf("meter empty: %+v", res.Meter)
+	}
+}
+
+func TestDistributedPackHypercube(t *testing.T) {
+	g := graph.Hypercube(4) // n=16, λ=4, target ⌈3/2⌉=2
+	res, err := Pack(g, stp.Options{Seed: 3, KnownLambda: 4, Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Packing
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Size(); s < 2*(1-0.5) || s > 2+1e-6 {
+		t.Fatalf("size %.3f outside [1, 2] for λ=4", s)
+	}
+	if p.Stats.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestDistributedMatchesCentralizedSize(t *testing.T) {
+	g := graph.Hypercube(4)
+	opts := stp.Options{Seed: 5, KnownLambda: 4, Epsilon: 0.2}
+	distRes, err := Pack(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cen, err := stp.Pack(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsz, csz := distRes.Packing.Size(), cen.Size()
+	if math.Abs(dsz-csz) > 0.5*math.Max(dsz, csz) {
+		t.Fatalf("distributed %.3f vs centralized %.3f sizes diverge", dsz, csz)
+	}
+}
+
+func TestDistributedPackEstimatesLambda(t *testing.T) {
+	g := graph.Torus(4, 4) // λ=4
+	res, err := Pack(g, stp.Options{Seed: 7, Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packing.Stats.Lambda != 4 {
+		t.Fatalf("estimated λ=%d, want 4", res.Packing.Stats.Lambda)
+	}
+	// Estimation charges the [21] min-cut approximation rounds.
+	if res.Meter.ChargedRounds == 0 {
+		t.Fatal("λ estimation not charged")
+	}
+}
+
+func TestDistributedDeterministic(t *testing.T) {
+	g := graph.Hypercube(3)
+	r1, err := Pack(g, stp.Options{Seed: 11, KnownLambda: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Pack(g, stp.Options{Seed: 11, KnownLambda: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Packing.Size() != r2.Packing.Size() || r1.Meter != r2.Meter {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestRoundsScaleWithSqrtNLambda(t *testing.T) {
+	// Theorem 1.3: O~(D + sqrt(nλ)) rounds. Check the meter stays below
+	// a generous polylog envelope at n=16.
+	g := graph.Hypercube(4)
+	res, err := Pack(g, stp.Options{Seed: 13, KnownLambda: 4, Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(g.N())
+	envelope := (float64(graph.Diameter(g)) + math.Sqrt(n*4)) * math.Pow(math.Log2(n+2), 4) * 20
+	if float64(res.Meter.TotalRounds()) > envelope {
+		t.Fatalf("rounds %d above envelope %.0f", res.Meter.TotalRounds(), envelope)
+	}
+}

@@ -1,0 +1,346 @@
+// Package tester implements the randomized CDS-packing test of Appendix
+// E (Lemma E.1): given a partition of (virtual) nodes into classes, it
+// checks that every class is a connected dominating set, centrally in
+// O(m log n) steps or distributedly in O~(min{d', D + sqrt(n)}) rounds.
+// The test is one-sided: valid packings always pass; an invalid packing
+// is rejected w.h.p. (the connectivity half is randomized).
+package tester
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Result reports a test outcome and its cost.
+type Result struct {
+	// OK is true when the partition passed both tests.
+	OK bool
+	// DominationFailures counts (node, class) domination violations
+	// found (centralized test only; the distributed test stops at one).
+	DominationFailures int
+	// ConnectivityFailures counts classes detected disconnected.
+	ConnectivityFailures int
+	// Meter is the distributed cost (zero for the centralized test).
+	Meter sim.Meter
+}
+
+// CheckCentralized is the centralized test: every class must dominate
+// the graph and induce a connected subgraph. classOf[v] lists the
+// classes node v belongs to (a node may be in several classes, matching
+// the paper's virtual-node partition projected to real nodes); classes
+// is t. Runs in O(m·log n + n·t/word) time via bitsets over classes.
+func CheckCentralized(g *graph.Graph, classOf [][]int32, classes int) (Result, error) {
+	n := g.N()
+	if len(classOf) != n {
+		return Result{}, fmt.Errorf("tester: classOf has %d entries for %d nodes", len(classOf), n)
+	}
+	var res Result
+
+	// Domination: every node must see every class in its closed
+	// neighborhood.
+	covered := make([]bool, classes)
+	for v := 0; v < n; v++ {
+		for i := range covered {
+			covered[i] = false
+		}
+		seen := 0
+		mark := func(cs []int32) {
+			for _, c := range cs {
+				if c >= 0 && int(c) < classes && !covered[c] {
+					covered[c] = true
+					seen++
+				}
+			}
+		}
+		mark(classOf[v])
+		for _, w := range g.Neighbors(v) {
+			mark(classOf[w])
+		}
+		if seen < classes {
+			res.DominationFailures += classes - seen
+		}
+	}
+
+	// Connectivity: per class, BFS over members only.
+	members := make([][]int, classes)
+	for v := 0; v < n; v++ {
+		for _, c := range classOf[v] {
+			if c >= 0 && int(c) < classes {
+				members[c] = append(members[c], v)
+			}
+		}
+	}
+	inClass := make([]bool, n)
+	for c := 0; c < classes; c++ {
+		if len(members[c]) == 0 {
+			res.ConnectivityFailures++
+			continue
+		}
+		for _, v := range members[c] {
+			inClass[v] = true
+		}
+		dist := graph.BFSRestricted(g, members[c][0], func(v int) bool { return inClass[v] })
+		for _, v := range members[c] {
+			if dist[v] < 0 {
+				res.ConnectivityFailures++
+				break
+			}
+		}
+		for _, v := range members[c] {
+			inClass[v] = false
+		}
+	}
+	res.OK = res.DominationFailures == 0 && res.ConnectivityFailures == 0
+	return res, nil
+}
+
+// CheckDistributed is the distributed test of Appendix E run in the
+// V-CONGEST model. Each node knows its own class memberships; the test
+// performs the domination phase (one announcement round plus failure
+// flooding) and the connectivity phase (component identification via
+// Theorem B.2 flooding, then Θ(log n) rounds of random-class component-
+// id announcements to detect split classes, then failure flooding).
+//
+// For simplicity each phase handles one class at a time when a node has
+// multiple memberships; the meter is charged for all slots, matching
+// the paper's meta-round accounting.
+func CheckDistributed(g *graph.Graph, classOf [][]int32, classes int, seed uint64) (Result, error) {
+	n := g.N()
+	if len(classOf) != n {
+		return Result{}, fmt.Errorf("tester: classOf has %d entries for %d nodes", len(classOf), n)
+	}
+	var res Result
+	res.OK = true
+
+	// --- Domination phase: every node announces its memberships (one
+	// slot per membership); every node checks it saw all classes.
+	domFail := false
+	{
+		procs := make([]sim.Process, n)
+		nodes := make([]*domNode, n)
+		for v := 0; v < n; v++ {
+			nodes[v] = &domNode{mine: classOf[v], classes: classes}
+			procs[v] = nodes[v]
+		}
+		eng, err := sim.NewEngine(g, sim.VCongest, procs, seed)
+		if err != nil {
+			return res, err
+		}
+		if err := eng.RunPhase(4); err != nil {
+			return res, fmt.Errorf("tester: domination phase: %w", err)
+		}
+		addMeter(&res.Meter, eng.Meter())
+		for _, nd := range nodes {
+			if nd.failed {
+				domFail = true
+				res.DominationFailures++
+			}
+		}
+		// Failure flooding costs O(D); charge it.
+		res.Meter.Charge(approxD(g))
+	}
+	if domFail {
+		res.OK = false
+		return res, nil // the paper aborts after a domination failure
+	}
+
+	// --- Connectivity phase, per class: identify components of the
+	// class subgraph, then have members exchange component ids; a node
+	// seeing two different component ids of the same class detects a
+	// disconnect. (With domination already verified, every node of the
+	// graph neighbors every class, so a class split into components is
+	// detected by some node w.h.p. — here deterministically, because we
+	// announce every class membership rather than sampling; the paper's
+	// Θ(log n) random sampling meets the same bound when nodes carry
+	// O(log n) memberships, which is the regime of Lemma 4.6.)
+	for c := 0; c < classes; c++ {
+		member := make([]bool, n)
+		any := false
+		for v := 0; v < n; v++ {
+			for _, cc := range classOf[v] {
+				if int(cc) == c {
+					member[v] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			res.ConnectivityFailures++
+			res.OK = false
+			continue
+		}
+		edgeOK := make([]bool, g.M())
+		for id := range edgeOK {
+			u, v := g.Endpoints(id)
+			edgeOK[id] = member[u] && member[v]
+		}
+		// Theorem B.2 component identification (restricted flooding).
+		values := make([]dist.Pair, n)
+		for v := 0; v < n; v++ {
+			if member[v] {
+				values[v] = dist.Pair{A: int64(v), B: 0}
+			} else {
+				values[v] = dist.Pair{A: int64(n), B: 0} // inert
+			}
+		}
+		ids, m, err := dist.ComponentMin(g, sim.VCongest, edgeOK, values, seed+uint64(c)+1)
+		if err != nil {
+			return res, err
+		}
+		addMeter(&res.Meter, &m)
+		// Announcement round: members broadcast component ids; any node
+		// hearing two distinct ids for class c detects a disconnect.
+		procs := make([]sim.Process, n)
+		nodes := make([]*connNode, n)
+		for v := 0; v < n; v++ {
+			cid := int64(-1)
+			if member[v] {
+				cid = ids[v].A
+			}
+			nodes[v] = &connNode{compID: cid}
+			procs[v] = nodes[v]
+		}
+		eng, err := sim.NewEngine(g, sim.VCongest, procs, seed+uint64(c)*31+7)
+		if err != nil {
+			return res, err
+		}
+		if err := eng.RunPhase(4); err != nil {
+			return res, fmt.Errorf("tester: connectivity phase: %w", err)
+		}
+		addMeter(&res.Meter, eng.Meter())
+		detected := false
+		for _, nd := range nodes {
+			if nd.detected {
+				detected = true
+				break
+			}
+		}
+		if detected {
+			res.ConnectivityFailures++
+			res.OK = false
+		}
+		res.Meter.Charge(approxD(g)) // failure flooding
+	}
+	return res, nil
+}
+
+func approxD(g *graph.Graph) int {
+	d := graph.ApproxDiameter(g)
+	if d < 1 {
+		d = g.N()
+	}
+	return d
+}
+
+func addMeter(dst *sim.Meter, src *sim.Meter) {
+	dst.RawRounds += src.RawRounds
+	dst.MeteredRounds += src.MeteredRounds
+	dst.ChargedRounds += src.ChargedRounds
+	dst.Messages += src.Messages
+	dst.Bits += src.Bits
+	dst.Phases += src.Phases
+}
+
+// domNode announces this node's class memberships (one slot each) and
+// checks that its closed neighborhood covers every class.
+type domNode struct {
+	mine    []int32
+	classes int
+	round   int
+	seen    map[int32]bool
+	failed  bool
+}
+
+const (
+	kindMembership = 10
+	kindCompID     = 11
+)
+
+func (p *domNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	switch p.round {
+	case 0:
+		p.round++
+		p.seen = make(map[int32]bool, p.classes)
+		for _, c := range p.mine {
+			p.seen[c] = true
+			ctx.Broadcast(sim.Msg(kindMembership, int64(c)))
+		}
+		if len(p.mine) > 0 {
+			return sim.Active
+		}
+	case 1:
+		p.round++
+		for _, d := range inbox {
+			if d.Msg.Kind == kindMembership {
+				p.seen[int32(d.Msg.F[0])] = true
+			}
+		}
+		if len(p.seen) < p.classes {
+			p.failed = true
+		}
+	}
+	return sim.Done
+}
+
+// connNode implements the detector-path scheme: members broadcast their
+// component id; every node records the id it heard (its "witness") and
+// re-broadcasts it; a node that ever sees two distinct ids for the class
+// flags a disconnect. With domination verified, every node has a
+// witness, so a split class always yields an adjacent pair with
+// different witnesses — the middle of the paper's length-<=3 detector
+// paths.
+type connNode struct {
+	compID   int64 // -1 for non-members
+	round    int
+	heard    int64
+	detected bool
+}
+
+func (p *connNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
+	switch p.round {
+	case 0:
+		p.round++
+		p.heard = p.compID // members witness their own component
+		if p.compID >= 0 {
+			ctx.Broadcast(sim.Msg(kindCompID, p.compID))
+			return sim.Active
+		}
+	case 1:
+		p.round++
+		for _, d := range inbox {
+			if d.Msg.Kind != kindCompID {
+				continue
+			}
+			id := d.Msg.F[0]
+			if p.heard >= 0 && id != p.heard {
+				p.detected = true
+			}
+			p.heard = id
+		}
+		if p.heard >= 0 {
+			ctx.Broadcast(sim.Msg(kindCompID, p.heard))
+			return sim.Active
+		}
+	case 2:
+		p.round++
+		for _, d := range inbox {
+			if d.Msg.Kind == kindCompID && p.heard >= 0 && d.Msg.F[0] != p.heard {
+				p.detected = true
+			}
+		}
+	}
+	return sim.Done
+}
+
+// MaxRoundsBudget returns the Lemma E.1 round bound for reporting:
+// O~(min{d', D + sqrt(n)}) with d' <= n.
+func MaxRoundsBudget(g *graph.Graph) int {
+	n := float64(g.N())
+	d := float64(approxD(g))
+	b := math.Min(n, d+math.Sqrt(n)*math.Log2(n+2))
+	return int(b) + 1
+}

@@ -1,0 +1,254 @@
+package tester
+
+import (
+	"testing"
+
+	"repro/internal/cds"
+	"repro/internal/graph"
+)
+
+// singleClassAll returns a membership table putting every node in class 0.
+func singleClassAll(n int) [][]int32 {
+	out := make([][]int32, n)
+	for i := range out {
+		out[i] = []int32{0}
+	}
+	return out
+}
+
+func TestCheckCentralizedValidSingleClass(t *testing.T) {
+	g := graph.Cycle(8)
+	res, err := CheckCentralized(g, singleClassAll(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("valid partition rejected: %+v", res)
+	}
+}
+
+func TestCheckCentralizedDominationFailure(t *testing.T) {
+	// Class 0 = {0} on a path: vertex 3+ is not dominated.
+	g := graph.Path(5)
+	classOf := make([][]int32, 5)
+	classOf[0] = []int32{0}
+	res, err := CheckCentralized(g, classOf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || res.DominationFailures == 0 {
+		t.Fatalf("undominated partition accepted: %+v", res)
+	}
+}
+
+func TestCheckCentralizedConnectivityFailure(t *testing.T) {
+	// C6: class 0 = {0, 3} dominates (every node within 1 of {0,3}) but
+	// is disconnected.
+	g := graph.Cycle(6)
+	classOf := make([][]int32, 6)
+	classOf[0] = []int32{0}
+	classOf[3] = []int32{0}
+	res, err := CheckCentralized(g, classOf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("disconnected class accepted")
+	}
+	if res.ConnectivityFailures == 0 {
+		t.Fatalf("no connectivity failure recorded: %+v", res)
+	}
+	if res.DominationFailures != 0 {
+		t.Fatalf("spurious domination failure: %+v", res)
+	}
+}
+
+func TestCheckCentralizedEmptyClass(t *testing.T) {
+	g := graph.Complete(4)
+	classOf := singleClassAll(4) // class 1 exists but is empty
+	res, err := CheckCentralized(g, classOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("empty class accepted")
+	}
+}
+
+func TestCheckCentralizedValidatesLength(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := CheckCentralized(g, make([][]int32, 2), 1); err == nil {
+		t.Fatal("bad classOf length accepted")
+	}
+	if _, err := CheckDistributed(g, make([][]int32, 2), 1, 1); err == nil {
+		t.Fatal("bad classOf length accepted (distributed)")
+	}
+}
+
+func TestDistributedMatchesCentralizedOnCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		classOf func(n int) [][]int32
+		classes int
+		wantOK  bool
+	}{
+		{
+			name: "valid-two-classes-K8",
+			g:    graph.Complete(8),
+			classOf: func(n int) [][]int32 {
+				out := make([][]int32, n)
+				for i := range out {
+					out[i] = []int32{int32(i % 2)}
+				}
+				return out
+			},
+			classes: 2,
+			wantOK:  true,
+		},
+		{
+			name:    "single-class-cycle",
+			g:       graph.Cycle(9),
+			classOf: singleClassAll,
+			classes: 1,
+			wantOK:  true,
+		},
+		{
+			name: "undominated",
+			g:    graph.Path(6),
+			classOf: func(n int) [][]int32 {
+				out := make([][]int32, n)
+				out[0] = []int32{0}
+				return out
+			},
+			classes: 1,
+			wantOK:  false,
+		},
+		{
+			name: "disconnected-class-far-apart",
+			g:    graph.Cycle(12),
+			classOf: func(n int) [][]int32 {
+				// {0,1,2} and {6,7,8}: dominating? vertex 4 has
+				// neighbors 3,5 — not dominated; add 4 and 10 to keep
+				// domination but with 4 pieces.
+				out := make([][]int32, n)
+				for _, v := range []int{0, 1, 2, 4, 6, 7, 8, 10} {
+					out[v] = []int32{0}
+				}
+				return out
+			},
+			classes: 1,
+			wantOK:  false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			classOf := tc.classOf(tc.g.N())
+			cen, err := CheckCentralized(tc.g, classOf, tc.classes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dis, err := CheckDistributed(tc.g, classOf, tc.classes, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cen.OK != tc.wantOK {
+				t.Fatalf("centralized OK=%v, want %v (%+v)", cen.OK, tc.wantOK, cen)
+			}
+			if dis.OK != tc.wantOK {
+				t.Fatalf("distributed OK=%v, want %v (%+v)", dis.OK, tc.wantOK, dis)
+			}
+			if dis.Meter.TotalRounds() == 0 {
+				t.Fatal("distributed test metered zero rounds")
+			}
+		})
+	}
+}
+
+func TestTesterAcceptsRealPacking(t *testing.T) {
+	g := graph.Hypercube(5)
+	p, err := cds.Pack(g, cds.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classOf := make([][]int32, g.N())
+	classes := 0
+	for i, tr := range p.Trees {
+		for _, v := range tr.Tree.Vertices() {
+			classOf[v] = append(classOf[v], int32(i))
+		}
+		classes = i + 1
+	}
+	cen, err := CheckCentralized(g, classOf, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cen.OK {
+		t.Fatalf("centralized test rejected a valid packing: %+v", cen)
+	}
+	dis, err := CheckDistributed(g, classOf, classes, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dis.OK {
+		t.Fatalf("distributed test rejected a valid packing: %+v", dis)
+	}
+}
+
+func TestTesterDetectsSabotagedPacking(t *testing.T) {
+	g := graph.Hypercube(5)
+	p, err := cds.Pack(g, cds.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Trees) == 0 {
+		t.Fatal("empty packing")
+	}
+	classOf := make([][]int32, g.N())
+	classes := len(p.Trees)
+	for i, tr := range p.Trees {
+		for _, v := range tr.Tree.Vertices() {
+			classOf[v] = append(classOf[v], int32(i))
+		}
+	}
+	// Sabotage: remove class 0 from one of its cut vertices — pick a
+	// non-leaf tree vertex so the class likely splits or loses domination.
+	victim := -1
+	tr := p.Trees[0].Tree
+	childCount := map[int]int{}
+	tr.ForEachEdge(func(child, parent int) { childCount[parent]++ })
+	for v, c := range childCount {
+		if c >= 2 {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		victim = tr.Root()
+	}
+	pruned := classOf[victim][:0]
+	for _, c := range classOf[victim] {
+		if c != 0 {
+			pruned = append(pruned, c)
+		}
+	}
+	classOf[victim] = pruned
+
+	cen, err := CheckCentralized(g, classOf, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := CheckDistributed(g, classOf, classes, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cen.OK != dis.OK {
+		t.Fatalf("centralized (%v) and distributed (%v) disagree on sabotage", cen.OK, dis.OK)
+	}
+}
+
+func TestMaxRoundsBudgetPositive(t *testing.T) {
+	if b := MaxRoundsBudget(graph.Hypercube(4)); b <= 0 {
+		t.Fatalf("budget = %d", b)
+	}
+}
