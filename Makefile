@@ -1,0 +1,40 @@
+# Tier-1 verification plus the bench workflow. `make ci` is what every
+# PR must keep green.
+
+GO ?= go
+
+.PHONY: ci verify vet build test bench-short bench fingerprint clean
+
+ci: verify bench-short
+
+verify: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode benches: one iteration each, so CI catches benchmark rot
+# without paying for full measurements.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full E1-E5 measurement written to BENCH_$(LABEL).json. Set BASELINE to
+# a prior BENCH_*.json to embed per-bench speedups:
+#   make bench LABEL=pr2 BASELINE=BENCH_pr1.json
+LABEL ?= local
+BASELINE ?=
+bench:
+	$(GO) run ./cmd/bench -label $(LABEL) $(if $(BASELINE),-baseline $(BASELINE))
+
+# Content-level determinism fingerprint; diff two runs (or two builds)
+# to prove refactors did not change experiment outcomes.
+fingerprint:
+	$(GO) run ./cmd/fingerprint
+
+clean:
+	rm -f repro.test *.prof

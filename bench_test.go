@@ -10,6 +10,8 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/benchmarks"
+
 	decomp "repro"
 	"repro/internal/cds"
 	"repro/internal/cdsdist"
@@ -18,142 +20,45 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lower"
 	"repro/internal/stp"
-	"repro/internal/stpdist"
 	"repro/internal/tester"
 )
 
 // --- E1: Theorem 1.1 — distributed dominating-tree packing ---------------
 
 func BenchmarkE1DomPackingDistributed(b *testing.B) {
-	for _, d := range []int{4, 5, 6} {
-		g := graph.Hypercube(d)
-		b.Run(fmt.Sprintf("Q%d", d), func(b *testing.B) {
-			var rounds, size float64
-			for i := 0; i < b.N; i++ {
-				res, err := cdsdist.PackWithGuess(g, 4*d, cds.Options{Seed: uint64(i)})
-				if err != nil {
-					b.Fatal(err)
-				}
-				rounds = float64(res.Meter.TotalRounds())
-				size = res.Packing.Size()
-			}
-			b.ReportMetric(rounds, "rounds")
-			b.ReportMetric(size, "packing-size")
-		})
+	for _, c := range benchmarks.E1() {
+		b.Run(c.Name, c.Bench)
 	}
 }
 
 // --- E2: Theorem 1.2 — centralized packing, O~(m) scaling ----------------
 
 func BenchmarkE2DomPackingCentralized(b *testing.B) {
-	for _, d := range []int{6, 8, 10} {
-		g := graph.Hypercube(d)
-		b.Run(fmt.Sprintf("Q%d_m%d", d, g.M()), func(b *testing.B) {
-			var size float64
-			for i := 0; i < b.N; i++ {
-				p, err := cds.Pack(g, cds.Options{Seed: uint64(i)})
-				if err != nil {
-					b.Fatal(err)
-				}
-				size = p.Size()
-			}
-			b.ReportMetric(size, "packing-size")
-			b.ReportMetric(float64(g.M()), "edges")
-		})
+	for _, c := range benchmarks.E2() {
+		b.Run(c.Name, c.Bench)
 	}
 }
 
 // --- E3: Theorem 1.3 — spanning-tree packing ------------------------------
 
 func BenchmarkE3SpanPackingCentralized(b *testing.B) {
-	for _, tc := range []struct {
-		name   string
-		g      *graph.Graph
-		lambda int
-	}{
-		{"Q6", graph.Hypercube(6), 6},
-		{"K16", graph.Complete(16), 15},
-		{"K32", graph.Complete(32), 31},
-	} {
-		b.Run(tc.name, func(b *testing.B) {
-			var size float64
-			for i := 0; i < b.N; i++ {
-				p, err := stp.Pack(tc.g, stp.Options{Seed: uint64(i), KnownLambda: tc.lambda})
-				if err != nil {
-					b.Fatal(err)
-				}
-				size = p.Size()
-			}
-			bound := math.Max(1, math.Ceil(float64(tc.lambda-1)/2))
-			b.ReportMetric(size, "packing-size")
-			b.ReportMetric(size/bound, "fraction-of-bound")
-		})
+	for _, c := range benchmarks.E3Cent() {
+		b.Run(c.Name, c.Bench)
 	}
 }
 
 func BenchmarkE3SpanPackingDistributed(b *testing.B) {
-	g := graph.Hypercube(4)
-	var rounds, size float64
-	for i := 0; i < b.N; i++ {
-		res, err := stpdist.Pack(g, stp.Options{Seed: uint64(i), KnownLambda: 4, Epsilon: 0.2})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rounds = float64(res.Meter.TotalRounds())
-		size = res.Packing.Size()
-	}
-	b.ReportMetric(rounds, "rounds")
-	b.ReportMetric(size, "packing-size")
+	benchmarks.E3Dist().Bench(b)
 }
 
 // --- E4/E5: Corollaries 1.4, 1.5 — broadcast throughput -------------------
 
 func BenchmarkE4BroadcastVertex(b *testing.B) {
-	g := graph.RandomHamCycles(256, 16, ds.NewRand(2))
-	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	srcs := decomp.UniformSources(g.N(), 4*g.N(), 3)
-	var speedup, throughput float64
-	for i := 0; i < b.N; i++ {
-		multi, err := decomp.Broadcast(g, p, srcs, uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		single, err := decomp.SingleTreeBroadcast(g, srcs, decomp.VCongest, uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		speedup = float64(single.Rounds) / float64(multi.Rounds)
-		throughput = multi.Throughput
-	}
-	b.ReportMetric(throughput, "msgs/round")
-	b.ReportMetric(speedup, "speedup-vs-tree")
+	benchmarks.E4().Bench(b)
 }
 
 func BenchmarkE5BroadcastEdge(b *testing.B) {
-	g := graph.Complete(16)
-	p, err := decomp.PackSpanningTrees(g, decomp.WithSeed(1), decomp.WithKnownConnectivity(15))
-	if err != nil {
-		b.Fatal(err)
-	}
-	srcs := decomp.UniformSources(g.N(), 4*g.N(), 3)
-	var speedup, throughput float64
-	for i := 0; i < b.N; i++ {
-		multi, err := decomp.BroadcastEdges(g, p, srcs, uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		single, err := decomp.SingleTreeBroadcast(g, srcs, decomp.ECongest, uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		speedup = float64(single.Rounds) / float64(multi.Rounds)
-		throughput = multi.Throughput
-	}
-	b.ReportMetric(throughput, "msgs/round")
-	b.ReportMetric(speedup, "speedup-vs-tree")
+	benchmarks.E5().Bench(b)
 }
 
 // --- E6: Corollary 1.6 — oblivious routing congestion ---------------------

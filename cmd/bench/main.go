@@ -1,0 +1,115 @@
+// Command bench executes the E1–E5 experiment benchmarks (the same
+// workloads go test -bench runs, via internal/benchmarks) and writes the
+// results as BENCH_<label>.json, seeding the repo's performance
+// trajectory. An optional baseline file adds per-benchmark speedups:
+//
+//	go run ./cmd/bench -label pr1 -baseline BENCH_seed.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchmarks"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Bench      string             `json:"bench"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_<label>.json payload.
+type Report struct {
+	Label    string             `json:"label"`
+	Date     string             `json:"date"`
+	GoOS     string             `json:"goos"`
+	GoArch   string             `json:"goarch"`
+	NumCPU   int                `json:"num_cpu"`
+	Note     string             `json:"note,omitempty"`
+	Results  []Entry            `json:"results"`
+	Baseline *Report            `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "local", "label for the output file BENCH_<label>.json")
+	baselinePath := flag.String("baseline", "", "optional prior BENCH_*.json to embed and compute speedups against")
+	filter := flag.String("filter", "", "optional regexp restricting which benchmarks run")
+	outDir := flag.String("out", ".", "directory for the output file")
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			log.Fatalf("bad -filter: %v", err)
+		}
+	}
+
+	rep := Report{
+		Label:  *label,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+	for _, c := range benchmarks.Cases() {
+		name := c.FullName()
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-40s ", name)
+		res := testing.Benchmark(c.Bench)
+		entry := Entry{
+			Bench:      name,
+			NsPerOp:    float64(res.NsPerOp()),
+			Iterations: res.N,
+			Metrics:    res.Extra,
+		}
+		rep.Results = append(rep.Results, entry)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  (n=%d)\n", entry.NsPerOp, res.N)
+	}
+
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			log.Fatalf("read baseline: %v", err)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			log.Fatalf("parse baseline: %v", err)
+		}
+		base.Baseline = nil // never nest more than one level
+		rep.Baseline = &base
+		rep.Speedup = map[string]float64{}
+		byName := map[string]Entry{}
+		for _, e := range base.Results {
+			byName[e.Bench] = e
+		}
+		for _, e := range rep.Results {
+			if b, ok := byName[e.Bench]; ok && e.NsPerOp > 0 {
+				rep.Speedup[e.Bench] = b.NsPerOp / e.NsPerOp
+			}
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", *outDir, *label)
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(path)
+}

@@ -1,0 +1,220 @@
+// Package benchmarks defines the E1–E5 experiment workloads once, so
+// the go-test benchmarks (bench_test.go) and the cmd/bench JSON runner
+// execute byte-identical work. Each case reports the paper's quantity
+// of interest (rounds, packing size, throughput) through b.ReportMetric,
+// which testing.Benchmark surfaces as BenchmarkResult.Extra.
+package benchmarks
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	decomp "repro"
+	"repro/internal/cds"
+	"repro/internal/cdsdist"
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/stp"
+	"repro/internal/stpdist"
+)
+
+// Case is one runnable benchmark workload.
+type Case struct {
+	// ID is the experiment label (E1..E5); Name the sub-case (empty when
+	// the experiment has a single configuration).
+	ID   string
+	Name string
+	// Bench runs the workload b.N times.
+	Bench func(b *testing.B)
+}
+
+// FullName returns "E1DomPackingDistributed/Q4"-style names matching
+// the go-test benchmark tree.
+func (c Case) FullName() string {
+	if c.Name == "" {
+		return c.ID
+	}
+	return c.ID + "/" + c.Name
+}
+
+// E1 is Theorem 1.1: the distributed dominating-tree packing.
+func E1() []Case {
+	var cases []Case
+	for _, d := range []int{4, 5, 6} {
+		d := d
+		g := graph.Hypercube(d)
+		cases = append(cases, Case{
+			ID:   "E1DomPackingDistributed",
+			Name: fmt.Sprintf("Q%d", d),
+			Bench: func(b *testing.B) {
+				var rounds, size float64
+				for i := 0; i < b.N; i++ {
+					res, err := cdsdist.PackWithGuess(g, 4*d, cds.Options{Seed: uint64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = float64(res.Meter.TotalRounds())
+					size = res.Packing.Size()
+				}
+				b.ReportMetric(rounds, "rounds")
+				b.ReportMetric(size, "packing-size")
+			},
+		})
+	}
+	return cases
+}
+
+// E2 is Theorem 1.2: the centralized packing's O~(m) scaling.
+func E2() []Case {
+	var cases []Case
+	for _, d := range []int{6, 8, 10} {
+		g := graph.Hypercube(d)
+		cases = append(cases, Case{
+			ID:   "E2DomPackingCentralized",
+			Name: fmt.Sprintf("Q%d_m%d", d, g.M()),
+			Bench: func(b *testing.B) {
+				var size float64
+				for i := 0; i < b.N; i++ {
+					p, err := cds.Pack(g, cds.Options{Seed: uint64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					size = p.Size()
+				}
+				b.ReportMetric(size, "packing-size")
+				b.ReportMetric(float64(g.M()), "edges")
+			},
+		})
+	}
+	return cases
+}
+
+// E3Cent is Theorem 1.3's centralized spanning-tree packing.
+func E3Cent() []Case {
+	var cases []Case
+	for _, tc := range []struct {
+		name   string
+		g      *graph.Graph
+		lambda int
+	}{
+		{"Q6", graph.Hypercube(6), 6},
+		{"K16", graph.Complete(16), 15},
+		{"K32", graph.Complete(32), 31},
+	} {
+		tc := tc
+		cases = append(cases, Case{
+			ID:   "E3SpanPackingCentralized",
+			Name: tc.name,
+			Bench: func(b *testing.B) {
+				var size float64
+				for i := 0; i < b.N; i++ {
+					p, err := stp.Pack(tc.g, stp.Options{Seed: uint64(i), KnownLambda: tc.lambda})
+					if err != nil {
+						b.Fatal(err)
+					}
+					size = p.Size()
+				}
+				bound := math.Max(1, math.Ceil(float64(tc.lambda-1)/2))
+				b.ReportMetric(size, "packing-size")
+				b.ReportMetric(size/bound, "fraction-of-bound")
+			},
+		})
+	}
+	return cases
+}
+
+// E3Dist is Theorem 1.3's E-CONGEST spanning-tree packing.
+func E3Dist() Case {
+	g := graph.Hypercube(4)
+	return Case{
+		ID: "E3SpanPackingDistributed",
+		Bench: func(b *testing.B) {
+			var rounds, size float64
+			for i := 0; i < b.N; i++ {
+				res, err := stpdist.Pack(g, stp.Options{Seed: uint64(i), KnownLambda: 4, Epsilon: 0.2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = float64(res.Meter.TotalRounds())
+				size = res.Packing.Size()
+			}
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(size, "packing-size")
+		},
+	}
+}
+
+// E4 is Corollary 1.4: broadcast throughput over the dominating-tree
+// packing in V-CONGEST. The packing is built outside the timed region.
+func E4() Case {
+	g := graph.RandomHamCycles(256, 16, ds.NewRand(2))
+	return Case{
+		ID: "E4BroadcastVertex",
+		Bench: func(b *testing.B) {
+			p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcs := decomp.UniformSources(g.N(), 4*g.N(), 3)
+			b.ResetTimer()
+			var speedup, throughput float64
+			for i := 0; i < b.N; i++ {
+				multi, err := decomp.Broadcast(g, p, srcs, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				single, err := decomp.SingleTreeBroadcast(g, srcs, decomp.VCongest, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = float64(single.Rounds) / float64(multi.Rounds)
+				throughput = multi.Throughput
+			}
+			b.ReportMetric(throughput, "msgs/round")
+			b.ReportMetric(speedup, "speedup-vs-tree")
+		},
+	}
+}
+
+// E5 is Corollary 1.5: broadcast throughput over the spanning-tree
+// packing in E-CONGEST. The packing is built outside the timed region.
+func E5() Case {
+	g := graph.Complete(16)
+	return Case{
+		ID: "E5BroadcastEdge",
+		Bench: func(b *testing.B) {
+			p, err := decomp.PackSpanningTrees(g, decomp.WithSeed(1), decomp.WithKnownConnectivity(15))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcs := decomp.UniformSources(g.N(), 4*g.N(), 3)
+			b.ResetTimer()
+			var speedup, throughput float64
+			for i := 0; i < b.N; i++ {
+				multi, err := decomp.BroadcastEdges(g, p, srcs, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				single, err := decomp.SingleTreeBroadcast(g, srcs, decomp.ECongest, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = float64(single.Rounds) / float64(multi.Rounds)
+				throughput = multi.Throughput
+			}
+			b.ReportMetric(throughput, "msgs/round")
+			b.ReportMetric(speedup, "speedup-vs-tree")
+		},
+	}
+}
+
+// Cases returns every E1–E5 workload in experiment order.
+func Cases() []Case {
+	var all []Case
+	all = append(all, E1()...)
+	all = append(all, E2()...)
+	all = append(all, E3Cent()...)
+	all = append(all, E3Dist(), E4(), E5())
+	return all
+}

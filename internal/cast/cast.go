@@ -14,6 +14,7 @@ package cast
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 
 	"repro/internal/ds"
@@ -138,6 +139,13 @@ func SingleTreeBaseline(g *graph.Graph, demand Demand, model sim.Model, seed uin
 // runVertexScheduler floods each message within its dominating tree's
 // member set; non-members overhear their dominating neighbors. One
 // transmission per node per round.
+//
+// Delivery state is kept message-major as node bitmasks so one
+// transmission updates 64 neighbors per word operation: a send (v, m)
+// ORs v's precomputed neighbor mask into message m's has-row, counts
+// fresh deliveries by popcount, and derives the forwarding set as
+// neighbors ∧ members ∧ ¬queued — identical, transmission for
+// transmission, to the scalar per-neighbor loop it replaces.
 func runVertexScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assign []int) (Result, error) {
 	n := g.N()
 	nMsgs := len(demand.Sources)
@@ -151,11 +159,22 @@ func runVertexScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, ass
 		}
 	}
 
-	has := newBitGrid(n, nMsgs)
-	queued := newBitGrid(n, nMsgs)
+	// nbrMask[v*stride : (v+1)*stride] is v's adjacency as a bitmask.
+	stride := (n + 63) / 64
+	nbrMask := make([]uint64, n*stride)
+	for v := 0; v < n; v++ {
+		row := nbrMask[v*stride : (v+1)*stride]
+		for _, w := range g.Neighbors(v) {
+			row[w>>6] |= 1 << (uint(w) & 63)
+		}
+	}
+
+	// hasM/queuedM[m*stride : (m+1)*stride] = nodes holding / having
+	// queued message m.
+	hasM := make([]uint64, nMsgs*stride)
+	queuedM := make([]uint64, nMsgs*stride)
 	queues := make([][]int32, n)
 	vertexCong := make([]int, n)
-	edgeCong := make([]int, g.M())
 
 	// Injection: each source holds its message and transmits it once;
 	// member neighbors of the assigned tree pick it up and flood it
@@ -163,37 +182,29 @@ func runVertexScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, ass
 	// tree": domination guarantees a member within one hop). Tree
 	// memberships are announced once, charged as a setup round.
 	res.SetupRounds = 1
-	enqueue := func(v, m int) {
-		if !queued.has(v, m) {
-			queued.set(v, m)
-			queues[v] = append(queues[v], int32(m))
-		}
-	}
 	for m, s := range demand.Sources {
-		has.set(s, m)
-		enqueue(s, m) // source transmits m exactly once (member or not)
-	}
-
-	remaining := n * nMsgs
-	for v := 0; v < n; v++ {
-		for m := 0; m < nMsgs; m++ {
-			if has.has(v, m) {
-				remaining--
-			}
+		bit := uint64(1) << (uint(s) & 63)
+		hasM[m*stride+s>>6] |= bit
+		if queuedM[m*stride+s>>6]&bit == 0 {
+			queuedM[m*stride+s>>6] |= bit
+			queues[s] = append(queues[s], int32(m))
 		}
 	}
+	// Each message occupies exactly its own (source, message) cell here.
+	remaining := n*nMsgs - nMsgs
 
+	type tx struct {
+		v int
+		m int32
+	}
+	sends := make([]tx, 0, n)
 	maxRounds := 4 * (nMsgs + n) * (len(trees) + 2)
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
 			return res, fmt.Errorf("cast: vertex scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
 		}
 		res.Rounds++
-		type tx struct {
-			v int
-			m int32
-		}
-		var sends []tx
+		sends = sends[:0]
 		for v := 0; v < n; v++ {
 			if len(queues[v]) == 0 {
 				continue
@@ -204,25 +215,41 @@ func runVertexScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, ass
 		}
 		for _, s := range sends {
 			vertexCong[s.v]++
-			ti := assign[s.m]
-			nbrs := g.Neighbors(s.v)
-			eids := g.IncidentEdges(s.v)
-			for i, w := range nbrs {
-				edgeCong[eids[i]]++
-				if !has.has(int(w), int(s.m)) {
-					has.set(int(w), int(s.m))
-					remaining--
+			m := int(s.m)
+			hrow := hasM[m*stride : (m+1)*stride]
+			qrow := queuedM[m*stride : (m+1)*stride]
+			nrow := nbrMask[s.v*stride : (s.v+1)*stride]
+			mwords := member[assign[m]].Words()
+			for j, nb := range nrow {
+				if nb == 0 {
+					continue
 				}
-				// Members of the message's tree forward it (once each).
-				if member[ti].Has(int(w)) {
-					enqueue(int(w), int(s.m))
+				if fresh := nb &^ hrow[j]; fresh != 0 {
+					hrow[j] |= fresh
+					remaining -= bits.OnesCount64(fresh)
 				}
+				// Members of the message's tree forward it (once each),
+				// queued in ascending node order like the scalar loop.
+				for enq := nb & mwords[j] &^ qrow[j]; enq != 0; enq &= enq - 1 {
+					w := j<<6 + bits.TrailingZeros64(enq)
+					queues[w] = append(queues[w], s.m)
+				}
+				qrow[j] |= nb & mwords[j]
 			}
 		}
 	}
 	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
 	res.MaxVertexCongestion = maxOf(vertexCong)
-	res.MaxEdgeCongestion = maxOf(edgeCong)
+	// Every transmission by a node crosses each of its incident edges
+	// exactly once, so an edge's load is the sum of its endpoints'
+	// transmission counts — no per-delivery counter needed.
+	maxEdge := 0
+	for _, e := range g.Edges() {
+		if c := vertexCong[e.U] + vertexCong[e.V]; c > maxEdge {
+			maxEdge = c
+		}
+	}
+	res.MaxEdgeCongestion = maxEdge
 	return res, nil
 }
 
@@ -234,10 +261,12 @@ func runEdgeScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assig
 	res := Result{TreeLoad: maxCount(assign, len(trees))}
 
 	// treeAdj[t][v] = tree-neighbor list of v in tree t, as (neighbor,
-	// edge id) pairs.
+	// edge id, outgoing direction) triples; the direction index is
+	// precomputed so the relay loop never re-derives endpoints.
 	type arc struct {
 		to  int32
 		eid int32
+		dir int32 // directed index of (v -> to): 2*eid + (v != U)
 	}
 	treeAdj := make([][][]arc, len(trees))
 	for ti, t := range trees {
@@ -247,8 +276,13 @@ func runEdgeScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assig
 			if !ok {
 				return
 			}
-			adj[child] = append(adj[child], arc{int32(parent), int32(eid)})
-			adj[parent] = append(adj[parent], arc{int32(child), int32(eid)})
+			u, _ := g.Endpoints(eid)
+			childDir, parentDir := int32(2*eid), int32(2*eid+1)
+			if child != u {
+				childDir, parentDir = parentDir, childDir
+			}
+			adj[child] = append(adj[child], arc{int32(parent), int32(eid), childDir})
+			adj[parent] = append(adj[parent], arc{int32(child), int32(eid), parentDir})
 		})
 		treeAdj[ti] = adj
 	}
@@ -259,13 +293,6 @@ func runEdgeScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assig
 	edgeCong := make([]int, g.M())
 	vertexCong := make([]int, n)
 
-	dirIndex := func(eid int, tail int) int {
-		u, _ := g.Endpoints(eid)
-		if tail == u {
-			return 2 * eid
-		}
-		return 2*eid + 1
-	}
 	remaining := n * nMsgs
 	relay := func(v int, m int32, fromEdge int32) {
 		if !has.has(v, int(m)) {
@@ -276,24 +303,25 @@ func runEdgeScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assig
 			if a.eid == fromEdge {
 				continue
 			}
-			queues[dirIndex(int(a.eid), v)] = append(queues[dirIndex(int(a.eid), v)], m)
+			queues[a.dir] = append(queues[a.dir], m)
 		}
 	}
 	for m, s := range demand.Sources {
 		relay(s, int32(m), -1)
 	}
 
+	type tx struct {
+		dir int
+		m   int32
+	}
+	sends := make([]tx, 0, 2*g.M())
 	maxRounds := 4 * (nMsgs + n) * (len(trees) + 2)
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
 			return res, fmt.Errorf("cast: edge scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
 		}
 		res.Rounds++
-		type tx struct {
-			dir int
-			m   int32
-		}
-		var sends []tx
+		sends = sends[:0]
 		for dir := range queues {
 			if len(queues[dir]) == 0 {
 				continue

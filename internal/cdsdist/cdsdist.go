@@ -77,7 +77,7 @@ func Pack(g *graph.Graph, opts cds.Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		addMeter(&total, &res.Meter)
+		total.Add(&res.Meter)
 		classOf := make([][]int32, n)
 		for i, t := range res.Packing.Trees {
 			for _, v := range t.Tree.Vertices() {
@@ -88,7 +88,7 @@ func Pack(g *graph.Graph, opts cds.Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		addMeter(&total, &tr.Meter)
+		total.Add(&tr.Meter)
 		if tr.OK && (best == nil || res.Packing.Size() > best.Packing.Size()) {
 			best = res
 		}
@@ -113,15 +113,6 @@ func normalized(o cds.Options) cds.Options {
 	return o
 }
 
-func addMeter(dst *sim.Meter, src *sim.Meter) {
-	dst.RawRounds += src.RawRounds
-	dst.MeteredRounds += src.MeteredRounds
-	dst.ChargedRounds += src.ChargedRounds
-	dst.Messages += src.Messages
-	dst.Bits += src.Bits
-	dst.Phases += src.Phases
-}
-
 // run holds the global (driver-visible) protocol state: per-node class
 // memberships and per-layer working state. Only information a node
 // could know locally is read inside processes; the driver moves state
@@ -135,20 +126,55 @@ type run struct {
 	rngs    []*rand.Rand // per-node private randomness
 	meter   sim.Meter
 	diam    int
+	eng     *sim.Engine // reused across all phases of the run
 
 	// classOf[v][layer*3+typ] = class of that virtual node, -1 unassigned.
 	classOf [][]int32
-	// hasOld[v] = set of classes with an assigned virtual node at v in
-	// layers processed so far.
-	hasOld []map[int32]bool
-	// compID[v][class] = min real id in v's class component (phase A).
+	// clsList[v] = sorted distinct classes with an assigned virtual node
+	// at v in layers processed so far (the keys of the paper's old-node
+	// sets). The flood protocols index their per-class state by position
+	// in this list, so their per-message work is a short linear scan
+	// instead of a map probe.
+	clsList [][]int32
+	// compList[v][i] = min real id in v's component of class clsList[v][i]
+	// (phase A output), parallel to clsList.
+	compList [][]int64
+	// compID[v][class] = the same information as a map, for the
+	// matching-phase processes that inherited map-shaped state.
 	compID []map[int32]int64
-	// active[v][class] = component not deactivated this layer.
-	active []map[int32]bool
+	// active[v][i] = component of class clsList[v][i] not deactivated
+	// this layer, parallel to clsList.
+	active [][]bool
 	// stats
 	stats cds.Stats
 	// tree extraction output: parent[v][class] (real parent), -1 root.
 	parent []map[int32]int64
+}
+
+// classIndex returns the position of c in the sorted class list, or -1.
+// Lists hold O(log n) entries, so a linear scan beats hashing.
+func classIndex(cls []int32, c int32) int {
+	for i, x := range cls {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertClass adds c to the sorted class list if absent.
+func insertClass(cls []int32, c int32) []int32 {
+	i := 0
+	for i < len(cls) && cls[i] < c {
+		i++
+	}
+	if i < len(cls) && cls[i] == c {
+		return cls
+	}
+	cls = append(cls, 0)
+	copy(cls[i+1:], cls[i:])
+	cls[i] = c
+	return cls
 }
 
 func newRun(g *graph.Graph, kGuess int, opts cds.Options) *run {
@@ -159,18 +185,19 @@ func newRun(g *graph.Graph, kGuess int, opts cds.Options) *run {
 		classes = 1
 	}
 	r := &run{
-		g:       g,
-		n:       n,
-		layers:  layers,
-		classes: classes,
-		opts:    opts,
-		rngs:    make([]*rand.Rand, n),
-		classOf: make([][]int32, n),
-		hasOld:  make([]map[int32]bool, n),
-		compID:  make([]map[int32]int64, n),
-		active:  make([]map[int32]bool, n),
-		parent:  make([]map[int32]int64, n),
-		stats:   cds.Stats{Guess: kGuess, Layers: layers, Classes: classes},
+		g:        g,
+		n:        n,
+		layers:   layers,
+		classes:  classes,
+		opts:     opts,
+		rngs:     make([]*rand.Rand, n),
+		classOf:  make([][]int32, n),
+		clsList:  make([][]int32, n),
+		compList: make([][]int64, n),
+		compID:   make([]map[int32]int64, n),
+		active:   make([][]bool, n),
+		parent:   make([]map[int32]int64, n),
+		stats:    cds.Stats{Guess: kGuess, Layers: layers, Classes: classes},
 	}
 	d := graph.ApproxDiameter(g)
 	if d < 1 {
@@ -184,9 +211,7 @@ func newRun(g *graph.Graph, kGuess int, opts cds.Options) *run {
 		for i := range r.classOf[v] {
 			r.classOf[v][i] = -1
 		}
-		r.hasOld[v] = make(map[int32]bool, 8)
 		r.compID[v] = make(map[int32]int64, 8)
-		r.active[v] = make(map[int32]bool, 8)
 		r.parent[v] = make(map[int32]int64, 8)
 	}
 	return r
@@ -218,7 +243,7 @@ func (r *run) execute() error {
 			for typ := 0; typ < 3; typ++ {
 				c := int32(r.rngs[v].IntN(r.classes))
 				r.classOf[v][layer*3+typ] = c
-				r.hasOld[v][c] = true
+				r.clsList[v] = insertClass(r.clsList[v], c)
 			}
 		}
 	}
@@ -274,7 +299,7 @@ func (r *run) assignLayer(layer int) error {
 	for v := 0; v < r.n; v++ {
 		for typ := 0; typ < 3; typ++ {
 			if c := r.classOf[v][layer*3+typ]; c >= 0 {
-				r.hasOld[v][c] = true
+				r.clsList[v] = insertClass(r.clsList[v], c)
 			}
 		}
 	}

@@ -26,15 +26,23 @@ func proposalRange(n int) int64 {
 	return v * v * v * v
 }
 
+// runPhase executes one protocol phase, reusing a single engine across
+// all phases of the run (every phase ends quiescent, so there is never
+// message carry-over to preserve; Reset reseeds the per-node streams).
 func (r *run) runPhase(procs []sim.Process, seed uint64, maxRounds int) error {
-	eng, err := sim.NewEngine(r.g, sim.VCongest, procs, seed, sim.WithMaxFieldBits(r.fieldBitsFor()))
-	if err != nil {
+	if r.eng == nil {
+		eng, err := sim.NewEngine(r.g, sim.VCongest, procs, seed, sim.WithMaxFieldBits(r.fieldBitsFor()))
+		if err != nil {
+			return err
+		}
+		r.eng = eng
+	} else if err := r.eng.Reset(procs, seed, sim.WithMaxFieldBits(r.fieldBitsFor())); err != nil {
 		return err
 	}
-	if err := eng.RunPhase(maxRounds); err != nil {
+	if err := r.eng.RunPhase(maxRounds); err != nil {
 		return err
 	}
-	addMeter(&r.meter, eng.Meter())
+	r.meter.Add(r.eng.Meter())
 	// Each phase boundary models a termination-detection convergecast
 	// over the preprocessing BFS tree.
 	r.meter.Charge(r.diam)
@@ -46,64 +54,88 @@ func (r *run) runPhase(procs []sim.Process, seed uint64, maxRounds int) error {
 // compFloodNode floods, per class this node belongs to, the minimum real
 // node id within the class component (Theorem B.2 restricted flooding:
 // class-c messages only merge across edges whose both endpoints carry
-// class c, which is exactly class-c component adjacency).
+// class c, which is exactly class-c component adjacency). Per-class
+// state is indexed by position in the sorted class list; min-merging is
+// order-insensitive, so the sorted broadcast order leaves results
+// identical to any other send order.
 type compFloodNode struct {
-	classes map[int32]bool
-	label   map[int32]int64
-	dirty   map[int32]bool
-	started bool
+	cls      []int32
+	label    []int64
+	dirty    []bool
+	hasDirty bool
+	started  bool
 }
 
 func (p *compFloodNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	if !p.started {
 		p.started = true
-		for c := range p.classes {
-			p.label[c] = int64(ctx.ID())
-			p.dirty[c] = true
+		id := int64(ctx.ID())
+		for i := range p.cls {
+			p.label[i] = id
+			p.dirty[i] = true
 		}
+		p.hasDirty = len(p.cls) > 0
 	}
 	for _, d := range inbox {
 		if d.Msg.Kind != kindComp {
 			continue
 		}
-		c := int32(d.Msg.F[0])
-		if !p.classes[c] {
+		i := classIndex(p.cls, int32(d.Msg.F[0]))
+		if i < 0 {
 			continue
 		}
-		if d.Msg.F[1] < p.label[c] {
-			p.label[c] = d.Msg.F[1]
-			p.dirty[c] = true
+		if d.Msg.F[1] < p.label[i] {
+			p.label[i] = d.Msg.F[1]
+			p.dirty[i] = true
+			p.hasDirty = true
 		}
 	}
-	sent := false
-	for c := range p.dirty {
-		ctx.Broadcast(sim.Msg(kindComp, int64(c), p.label[c]))
-		delete(p.dirty, c)
-		sent = true
+	if !p.hasDirty {
+		return sim.Done
 	}
-	if sent {
-		return sim.Active
+	for i, c := range p.cls {
+		if p.dirty[i] {
+			ctx.Broadcast(sim.Msg(kindComp, int64(c), p.label[i]))
+			p.dirty[i] = false
+		}
 	}
-	return sim.Done
+	p.hasDirty = false
+	return sim.Active
 }
 
-// identifyComponents refreshes r.compID for the current old-node sets.
+// identifyComponents refreshes r.compList/r.compID for the current
+// old-node sets. The per-node state slices come from two shared backing
+// arrays, so the whole phase costs O(1) allocations.
 func (r *run) identifyComponents() error {
+	total := 0
+	for v := 0; v < r.n; v++ {
+		total += len(r.clsList[v])
+	}
+	labelBacking := make([]int64, total)
+	dirtyBacking := make([]bool, total)
 	procs := make([]sim.Process, r.n)
 	nodes := make([]*compFloodNode, r.n)
+	pos := 0
 	for v := 0; v < r.n; v++ {
+		k := len(r.clsList[v])
 		nodes[v] = &compFloodNode{
-			classes: r.hasOld[v],
-			label:   make(map[int32]int64, len(r.hasOld[v])),
-			dirty:   make(map[int32]bool, len(r.hasOld[v])),
+			cls:   r.clsList[v],
+			label: labelBacking[pos : pos+k : pos+k],
+			dirty: dirtyBacking[pos : pos+k : pos+k],
 		}
+		pos += k
 		procs[v] = nodes[v]
 	}
 	if err := r.runPhase(procs, r.opts.Seed^0xc0ffee, 4*r.n+8); err != nil {
 		return fmt.Errorf("component identification: %w", err)
 	}
 	for v := 0; v < r.n; v++ {
-		r.compID[v] = nodes[v].label
+		r.compList[v] = nodes[v].label
+		m := r.compID[v]
+		clear(m)
+		for i, c := range r.clsList[v] {
+			m[c] = nodes[v].label[i]
+		}
 	}
 	return nil
 }
@@ -120,40 +152,55 @@ type candidate struct {
 // annNode broadcasts this node's (class, compID) pairs; type-1 new nodes
 // that see two components of their class reply with a connector message;
 // old nodes hearing a connector for their (class, component) mark it
-// deactivated locally (flooded component-wide in the next step).
+// deactivated locally (flooded component-wide in the next step). All
+// collection steps are set-valued, so the sorted announcement order is
+// interchangeable with any other.
 type annNode struct {
-	comps      map[int32]int64 // old-node components at this node
+	cls        []int32 // sorted classes with old nodes here
+	comp       []int64 // component ids parallel to cls
 	type1Class int32
 	round      int
-	deact      map[int32]bool // class -> component deactivated locally
+	deact      []bool // parallel to cls: component deactivated locally
+	seen       [2]int64
 }
 
 func (p *annNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	switch p.round {
 	case 0:
 		p.round++
-		sent := false
-		for c, id := range p.comps {
-			ctx.Broadcast(sim.Msg(kindCompAnn, int64(c), id, 1))
-			sent = true
+		for i, c := range p.cls {
+			ctx.Broadcast(sim.Msg(kindCompAnn, int64(c), p.comp[i], 1))
 		}
-		if sent {
+		if len(p.cls) > 0 {
 			return sim.Active
 		}
 	case 1:
 		p.round++
 		// Type-1 role: collect components of own class; if >= 2, shout
-		// the connector symbol for that class.
-		seen := map[int64]bool{}
-		if id, ok := p.comps[p.type1Class]; ok {
-			seen[id] = true
+		// the connector symbol for that class. Two distinct ids suffice,
+		// so a two-slot set is enough.
+		nseen := 0
+		note := func(id int64) {
+			if nseen > 0 && p.seen[0] == id {
+				return
+			}
+			if nseen > 1 && p.seen[1] == id {
+				return
+			}
+			if nseen < 2 {
+				p.seen[nseen] = id
+			}
+			nseen++
+		}
+		if i := classIndex(p.cls, p.type1Class); i >= 0 {
+			note(p.comp[i])
 		}
 		for _, d := range inbox {
 			if d.Msg.Kind == kindCompAnn && int32(d.Msg.F[0]) == p.type1Class {
-				seen[d.Msg.F[1]] = true
+				note(d.Msg.F[1])
 			}
 		}
-		if len(seen) >= 2 {
+		if nseen >= 2 {
 			ctx.Broadcast(sim.Msg(kindDeact, int64(p.type1Class)))
 			return sim.Active
 		}
@@ -163,9 +210,8 @@ func (p *annNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 			if d.Msg.Kind != kindDeact {
 				continue
 			}
-			c := int32(d.Msg.F[0])
-			if _, ok := p.comps[c]; ok {
-				p.deact[c] = true
+			if i := classIndex(p.cls, int32(d.Msg.F[0])); i >= 0 {
+				p.deact[i] = true
 			}
 		}
 	}
@@ -173,83 +219,98 @@ func (p *annNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 }
 
 // deactFloodNode floods the deactivation bit component-wide (restricted
-// flooding again: class-c adjacency is component adjacency).
+// flooding again: class-c adjacency is component adjacency). Flag
+// merging is order-insensitive, like the component flood.
 type deactFloodNode struct {
-	comps   map[int32]int64
-	deact   map[int32]bool
-	dirty   map[int32]bool
-	started bool
+	cls      []int32
+	deact    []bool
+	dirty    []bool
+	hasDirty bool
+	started  bool
 }
 
 func (p *deactFloodNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	if !p.started {
 		p.started = true
-		for c := range p.deact {
-			p.dirty[c] = true
+		for i := range p.cls {
+			if p.deact[i] {
+				p.dirty[i] = true
+				p.hasDirty = true
+			}
 		}
 	}
 	for _, d := range inbox {
 		if d.Msg.Kind != kindDeact {
 			continue
 		}
-		c := int32(d.Msg.F[0])
-		if _, ok := p.comps[c]; ok && !p.deact[c] {
-			p.deact[c] = true
-			p.dirty[c] = true
+		i := classIndex(p.cls, int32(d.Msg.F[0]))
+		if i >= 0 && !p.deact[i] {
+			p.deact[i] = true
+			p.dirty[i] = true
+			p.hasDirty = true
 		}
 	}
-	sent := false
-	for c := range p.dirty {
-		ctx.Broadcast(sim.Msg(kindDeact, int64(c)))
-		delete(p.dirty, c)
-		sent = true
+	if !p.hasDirty {
+		return sim.Done
 	}
-	if sent {
-		return sim.Active
+	for i, c := range p.cls {
+		if p.dirty[i] {
+			ctx.Broadcast(sim.Msg(kindDeact, int64(c)))
+			p.dirty[i] = false
+		}
 	}
-	return sim.Done
+	p.hasDirty = false
+	return sim.Active
 }
 
 // scoutNode implements Appendix B.2's bridging-graph construction: old
 // nodes re-announce (class, compID, activity); each type-3 new node w
 // forms its message m_w; each type-2 new node v assembles its neighbor
 // list List_v from active announced components and type-3 messages.
+// List order follows delivery order (sender-major), as in the original
+// map-based version; every collection step in between is set-valued.
 type scoutNode struct {
-	comps      map[int32]int64
-	active     map[int32]bool
+	cls        []int32 // sorted classes with old nodes here
+	comp       []int64 // component ids parallel to cls
+	active     []bool  // parallel to cls
+	classes    int
 	type3Class int32
 	type2Class int32 // unused by the protocol; kept for symmetry
 	round      int
 
 	// scratch
-	seenComp  map[int64]bool
-	annHeard  []candidate // active components heard (class, compID)
-	scoutMsgs []sim.Message
-	list      []candidate
+	seenComp []int64     // distinct type-3 component ids heard
+	annHeard []candidate // active components heard (class, compID)
+	list     []candidate
 }
 
 func (p *scoutNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	switch p.round {
 	case 0:
 		p.round++
-		sent := false
-		for c, id := range p.comps {
+		for i, c := range p.cls {
 			act := int64(0)
-			if p.active[c] {
+			if p.active[i] {
 				act = 1
 			}
-			ctx.Broadcast(sim.Msg(kindCompAnn, int64(c), id, act))
-			sent = true
+			ctx.Broadcast(sim.Msg(kindCompAnn, int64(c), p.comp[i], act))
 		}
-		if sent {
+		if len(p.cls) > 0 {
 			return sim.Active
 		}
 	case 1:
 		p.round++
 		// Gather announcements; type-3 role constructs m_w.
-		p.seenComp = map[int64]bool{}
-		if id, ok := p.comps[p.type3Class]; ok {
-			p.seenComp[id] = true
+		noteComp := func(id int64) {
+			for _, have := range p.seenComp {
+				if have == id {
+					return
+				}
+			}
+			p.seenComp = append(p.seenComp, id)
+		}
+		if i := classIndex(p.cls, p.type3Class); i >= 0 {
+			noteComp(p.comp[i])
 		}
 		for _, d := range inbox {
 			if d.Msg.Kind != kindCompAnn {
@@ -260,25 +321,21 @@ func (p *scoutNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 				p.annHeard = append(p.annHeard, candidate{class: c, compID: d.Msg.F[1]})
 			}
 			if c == p.type3Class {
-				p.seenComp[d.Msg.F[1]] = true
+				noteComp(d.Msg.F[1])
 			}
 		}
 		// Also count own active components as heard (virtual adjacency
 		// within the same real node).
-		for c, id := range p.comps {
-			if p.active[c] {
-				p.annHeard = append(p.annHeard, candidate{class: c, compID: id})
+		for i, c := range p.cls {
+			if p.active[i] {
+				p.annHeard = append(p.annHeard, candidate{class: c, compID: p.comp[i]})
 			}
 		}
 		switch {
 		case len(p.seenComp) == 0:
 			// empty m_w
 		case len(p.seenComp) == 1:
-			var only int64
-			for id := range p.seenComp {
-				only = id
-			}
-			ctx.Broadcast(sim.Msg(kindScout, int64(p.type3Class), only))
+			ctx.Broadcast(sim.Msg(kindScout, int64(p.type3Class), p.seenComp[0]))
 			return sim.Active
 		default:
 			ctx.Broadcast(sim.Msg(kindScout, int64(p.type3Class), connectorSymbol))
@@ -286,30 +343,44 @@ func (p *scoutNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 		}
 	case 2:
 		p.round++
-		// Type-2 role: build List_v per Appendix B.2.
-		scouts := make(map[int32][]int64)
-		add := func(c int32, id int64) {
+		// Type-2 role: build List_v per Appendix B.2. Scout messages are
+		// bucketed per class; each bucket is a small distinct-id set.
+		scouts := make([][]int64, p.classes)
+		for _, d := range inbox {
+			if d.Msg.Kind != kindScout {
+				continue
+			}
+			c := int32(d.Msg.F[0])
+			if c < 0 || int(c) >= p.classes {
+				continue
+			}
+			id := d.Msg.F[1]
+			dup := false
 			for _, have := range scouts[c] {
 				if have == id {
-					return
+					dup = true
+					break
 				}
 			}
-			scouts[c] = append(scouts[c], id)
-		}
-		for _, d := range inbox {
-			if d.Msg.Kind == kindScout {
-				add(int32(d.Msg.F[0]), d.Msg.F[1])
+			if !dup {
+				scouts[c] = append(scouts[c], id)
 			}
 		}
 		// A component C of class i joins List_v iff v heard an active
 		// announcement of C and some scout message for class i names a
-		// component != C (or the connector symbol).
-		seen := map[candidate]bool{}
-		for _, cand := range p.annHeard {
-			if seen[cand] {
+		// component != C (or the connector symbol). First occurrence
+		// order of annHeard is preserved, as before.
+		for hi, cand := range p.annHeard {
+			dup := false
+			for _, prev := range p.annHeard[:hi] {
+				if prev == cand {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[cand] = true
 			for _, id := range scouts[cand.class] {
 				if id == connectorSymbol || id != cand.compID {
 					p.list = append(p.list, cand)
@@ -325,46 +396,63 @@ func (p *scoutNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 // bridging-graph neighbor list.
 func (r *run) buildBridging(layer int) ([][]candidate, error) {
 	// B.1: announcements + type-1 connector detection.
+	total := 0
+	for v := 0; v < r.n; v++ {
+		total += len(r.clsList[v])
+	}
+	annDeact := make([]bool, total)
 	anns := make([]*annNode, r.n)
 	procs := make([]sim.Process, r.n)
+	pos := 0
 	for v := 0; v < r.n; v++ {
+		k := len(r.clsList[v])
 		anns[v] = &annNode{
-			comps:      r.compID[v],
+			cls:        r.clsList[v],
+			comp:       r.compList[v],
 			type1Class: r.classOf[v][layer*3+0],
-			deact:      make(map[int32]bool),
+			deact:      annDeact[pos : pos+k : pos+k],
 		}
+		pos += k
 		procs[v] = anns[v]
 	}
 	if err := r.runPhase(procs, r.opts.Seed^uint64(layer)<<8^0xdead, 8); err != nil {
 		return nil, fmt.Errorf("deactivation detection: %w", err)
 	}
 
-	// B.2: flood deactivation component-wide.
+	// B.2: flood deactivation component-wide, seeded from the type-1
+	// verdicts (same class indexing, so the flags carry over directly).
+	dirtyBacking := make([]bool, total)
 	floods := make([]*deactFloodNode, r.n)
+	pos = 0
 	for v := 0; v < r.n; v++ {
+		k := len(r.clsList[v])
 		floods[v] = &deactFloodNode{
-			comps: r.compID[v],
+			cls:   r.clsList[v],
 			deact: anns[v].deact,
-			dirty: make(map[int32]bool),
+			dirty: dirtyBacking[pos : pos+k : pos+k],
 		}
+		pos += k
 		procs[v] = floods[v]
 	}
 	if err := r.runPhase(procs, r.opts.Seed^uint64(layer)<<8^0xbeef, 4*r.n+8); err != nil {
 		return nil, fmt.Errorf("deactivation flood: %w", err)
 	}
 	for v := 0; v < r.n; v++ {
-		r.active[v] = make(map[int32]bool, len(r.compID[v]))
-		for c := range r.compID[v] {
-			r.active[v][c] = !floods[v].deact[c]
+		active := r.active[v][:0]
+		for i := range r.clsList[v] {
+			active = append(active, !floods[v].deact[i])
 		}
+		r.active[v] = active
 	}
 
 	// B.3: re-announce with activity; scouts; type-2 lists.
 	scouts := make([]*scoutNode, r.n)
 	for v := 0; v < r.n; v++ {
 		scouts[v] = &scoutNode{
-			comps:      r.compID[v],
+			cls:        r.clsList[v],
+			comp:       r.compList[v],
 			active:     r.active[v],
+			classes:    r.classes,
 			type3Class: r.classOf[v][layer*3+2],
 			type2Class: r.classOf[v][layer*3+1],
 		}
@@ -384,24 +472,27 @@ func (r *run) buildBridging(layer int) ([][]candidate, error) {
 
 // proposeNode: stage round 1 — unmatched type-2 nodes propose to the
 // listed component with the largest random value; old nodes record the
-// best proposal they hear for each of their components.
+// best proposal they hear for each of their components. The best-map is
+// a max-merge (ties to the higher proposer id), so collection order is
+// immaterial; state is indexed by position in the sorted class list.
 type proposeNode struct {
-	comps    map[int32]int64
-	blocked  map[int32]bool // classes whose component here already matched
-	list     []candidate    // nil when matched or empty
-	proposal candidate      // what this node proposed to
+	cls      []int32
+	comp     []int64
+	blocked  []bool      // parallel: component here already matched
+	list     []candidate // nil when matched or empty
+	proposal candidate   // what this node proposed to
 	propVal  int64
 	proposed bool
 	round    int
 	// best proposal per class heard by this old node: (value, proposer).
-	best map[int32][2]int64
+	best    [][2]int64
+	hasBest []bool
 }
 
 func (p *proposeNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	switch p.round {
 	case 0:
 		p.round++
-		p.best = make(map[int32][2]int64)
 		if len(p.list) > 0 {
 			bestIdx, bestVal := 0, int64(-1)
 			span := proposalRange(ctx.N())
@@ -423,17 +514,15 @@ func (p *proposeNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 			if d.Msg.Kind != kindPropose {
 				continue
 			}
-			c := int32(d.Msg.F[0])
-			if p.blocked[c] {
-				continue // component already matched in an earlier stage
-			}
-			if id, ok := p.comps[c]; !ok || id != d.Msg.F[1] {
-				continue // proposal for a component this node is not in
+			i := classIndex(p.cls, int32(d.Msg.F[0]))
+			if i < 0 || p.blocked[i] || p.comp[i] != d.Msg.F[1] {
+				continue // not in this component, or matched earlier
 			}
 			val, from := d.Msg.F[2], int64(d.From)
-			cur, ok := p.best[c]
-			if !ok || val > cur[0] || (val == cur[0] && from > cur[1]) {
-				p.best[c] = [2]int64{val, from}
+			cur := p.best[i]
+			if !p.hasBest[i] || val > cur[0] || (val == cur[0] && from > cur[1]) {
+				p.best[i] = [2]int64{val, from}
+				p.hasBest[i] = true
 			}
 		}
 	}
@@ -442,17 +531,18 @@ func (p *proposeNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 
 // acceptNode: after the component-wide max flood, old nodes broadcast
 // the accepted proposal; type-2 nodes learn whether they were matched
-// and prune their lists.
+// and prune their lists. The lost-collection is a set, so announcement
+// order is immaterial.
 type acceptNode struct {
-	comps     map[int32]int64
-	accepted  map[int32][2]int64 // class -> (value, proposer), flood result
-	proposed  bool
-	proposal  candidate
-	propVal   int64
-	round     int
-	matched   bool
-	lost      map[candidate]bool // components that accepted someone else
-	announced bool
+	cls      []int32
+	comp     []int64
+	accepted [][2]int64 // parallel: (value, proposer), -1 proposer = none
+	proposed bool
+	proposal candidate
+	propVal  int64
+	round    int
+	matched  bool
+	lost     []candidate // components that accepted someone else
 }
 
 func (p *acceptNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
@@ -460,17 +550,18 @@ func (p *acceptNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	case 0:
 		p.round++
 		sent := false
-		for c, best := range p.accepted {
+		for i, best := range p.accepted {
 			if best[1] < 0 {
 				continue // no proposal reached this component
 			}
+			c := p.cls[i]
 			// Self-acceptance: a proposer that is itself a member of the
 			// winning component never hears its own broadcast.
-			if p.proposed && p.proposal.class == c && p.proposal.compID == p.comps[c] &&
+			if p.proposed && p.proposal.class == c && p.proposal.compID == p.comp[i] &&
 				best[0] == p.propVal && best[1] == int64(ctx.ID()) {
 				p.matched = true
 			}
-			ctx.Broadcast(sim.Msg(kindAccept, int64(c), p.comps[c], best[0], best[1]))
+			ctx.Broadcast(sim.Msg(kindAccept, int64(c), p.comp[i], best[0], best[1]))
 			sent = true
 		}
 		if sent {
@@ -478,7 +569,6 @@ func (p *acceptNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 		}
 	case 1:
 		p.round++
-		p.lost = make(map[candidate]bool)
 		for _, d := range inbox {
 			if d.Msg.Kind != kindAccept {
 				continue
@@ -488,7 +578,16 @@ func (p *acceptNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 			if p.proposed && cand == p.proposal && val == p.propVal && winner == int64(ctx.ID()) {
 				p.matched = true
 			} else {
-				p.lost[cand] = true
+				dup := false
+				for _, have := range p.lost {
+					if have == cand {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					p.lost = append(p.lost, cand)
+				}
 			}
 		}
 	}
@@ -506,9 +605,17 @@ func (r *run) matchStages(layer int, lists [][]candidate) (int, error) {
 	matchedCount := 0
 	assigned := make([]bool, r.n)
 	procs := make([]sim.Process, r.n)
-	blocked := make([]map[int32]bool, r.n)
+	total := 0
+	for v := 0; v < r.n; v++ {
+		total += len(r.clsList[v])
+	}
+	blockedBacking := make([]bool, total)
+	blocked := make([][]bool, r.n)
+	pos := 0
 	for v := range blocked {
-		blocked[v] = make(map[int32]bool)
+		k := len(r.clsList[v])
+		blocked[v] = blockedBacking[pos : pos+k : pos+k]
+		pos += k
 	}
 
 	for stage := 0; stage < stages; stage++ {
@@ -523,13 +630,25 @@ func (r *run) matchStages(layer int, lists [][]candidate) (int, error) {
 			break
 		}
 		// Stage round 1-2: propose and collect.
+		bestBacking := make([][2]int64, total)
+		hasBacking := make([]bool, total)
 		props := make([]*proposeNode, r.n)
+		pos = 0
 		for v := 0; v < r.n; v++ {
 			var list []candidate
 			if !assigned[v] {
 				list = lists[v]
 			}
-			props[v] = &proposeNode{comps: r.compID[v], blocked: blocked[v], list: list}
+			k := len(r.clsList[v])
+			props[v] = &proposeNode{
+				cls:     r.clsList[v],
+				comp:    r.compList[v],
+				blocked: blocked[v],
+				list:    list,
+				best:    bestBacking[pos : pos+k : pos+k],
+				hasBest: hasBacking[pos : pos+k : pos+k],
+			}
+			pos += k
 			procs[v] = props[v]
 		}
 		seed := r.opts.Seed ^ uint64(layer*131+stage)<<10 ^ 0xabcd
@@ -548,7 +667,8 @@ func (r *run) matchStages(layer int, lists [][]candidate) (int, error) {
 		accs := make([]*acceptNode, r.n)
 		for v := 0; v < r.n; v++ {
 			accs[v] = &acceptNode{
-				comps:    r.compID[v],
+				cls:      r.clsList[v],
+				comp:     r.compList[v],
 				accepted: accepted[v],
 				proposed: props[v].proposed,
 				proposal: props[v].proposal,
@@ -563,9 +683,9 @@ func (r *run) matchStages(layer int, lists [][]candidate) (int, error) {
 		for v := 0; v < r.n; v++ {
 			// Members of components that accepted a proposal mark them
 			// matched for all later stages.
-			for c, best := range accepted[v] {
-				if best[1] >= 0 {
-					blocked[v][c] = true
+			for i := range accepted[v] {
+				if accepted[v][i][1] >= 0 {
+					blocked[v][i] = true
 				}
 			}
 			if assigned[v] {
@@ -581,7 +701,14 @@ func (r *run) matchStages(layer int, lists [][]candidate) (int, error) {
 			if len(accs[v].lost) > 0 {
 				pruned := lists[v][:0]
 				for _, cand := range lists[v] {
-					if !accs[v].lost[cand] {
+					lostIt := false
+					for _, lc := range accs[v].lost {
+						if lc == cand {
+							lostIt = true
+							break
+						}
+					}
+					if !lostIt {
 						pruned = append(pruned, cand)
 					}
 				}
@@ -600,78 +727,98 @@ func (r *run) matchStages(layer int, lists [][]candidate) (int, error) {
 }
 
 // floodBestProposal spreads each component's best proposal to all its
-// members (the Theorem B.2 aggregation of Appendix B.3).
+// members (the Theorem B.2 aggregation of Appendix B.3). The max-merge
+// with (value, proposer) tie-breaking is order-insensitive, so the
+// slice-indexed state floods identically to the map-based original.
+// Entries with hasBest false stand for "no proposal heard yet".
 type proposalFloodNode struct {
-	comps   map[int32]int64
-	best    map[int32][2]int64
-	dirty   map[int32]bool
-	started bool
+	cls      []int32
+	best     [][2]int64
+	hasBest  []bool
+	dirty    []bool
+	hasDirty bool
+	started  bool
 }
 
 func (p *proposalFloodNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	if !p.started {
 		p.started = true
-		for c := range p.best {
-			p.dirty[c] = true
+		for i := range p.cls {
+			if p.hasBest[i] {
+				p.dirty[i] = true
+				p.hasDirty = true
+			}
 		}
 	}
 	for _, d := range inbox {
 		if d.Msg.Kind != kindPropose {
 			continue
 		}
-		c := int32(d.Msg.F[0])
-		if _, ok := p.comps[c]; !ok {
+		i := classIndex(p.cls, int32(d.Msg.F[0]))
+		if i < 0 {
 			continue
 		}
 		val, who := d.Msg.F[1], d.Msg.F[2]
-		cur, ok := p.best[c]
-		if !ok || val > cur[0] || (val == cur[0] && who > cur[1]) {
-			p.best[c] = [2]int64{val, who}
-			p.dirty[c] = true
+		cur := p.best[i]
+		if !p.hasBest[i] || val > cur[0] || (val == cur[0] && who > cur[1]) {
+			p.best[i] = [2]int64{val, who}
+			p.hasBest[i] = true
+			p.dirty[i] = true
+			p.hasDirty = true
 		}
 	}
-	sent := false
-	for c := range p.dirty {
-		b := p.best[c]
-		ctx.Broadcast(sim.Msg(kindPropose, int64(c), b[0], b[1]))
-		delete(p.dirty, c)
-		sent = true
+	if !p.hasDirty {
+		return sim.Done
 	}
-	if sent {
-		return sim.Active
+	for i, c := range p.cls {
+		if p.dirty[i] {
+			b := p.best[i]
+			ctx.Broadcast(sim.Msg(kindPropose, int64(c), b[0], b[1]))
+			p.dirty[i] = false
+		}
 	}
-	return sim.Done
+	p.hasDirty = false
+	return sim.Active
 }
 
-func (r *run) floodBestProposal(props []*proposeNode, seed uint64) ([]map[int32][2]int64, error) {
+func (r *run) floodBestProposal(props []*proposeNode, seed uint64) ([][][2]int64, error) {
+	total := 0
+	for v := 0; v < r.n; v++ {
+		total += len(r.clsList[v])
+	}
+	bestBacking := make([][2]int64, total)
+	flagBacking := make([]bool, 2*total)
 	nodes := make([]*proposalFloodNode, r.n)
 	procs := make([]sim.Process, r.n)
+	pos := 0
 	for v := 0; v < r.n; v++ {
-		best := make(map[int32][2]int64, len(props[v].best))
-		for c, b := range props[v].best {
-			best[c] = b
+		k := len(r.clsList[v])
+		nd := &proposalFloodNode{
+			cls:     r.clsList[v],
+			best:    bestBacking[pos : pos+k : pos+k],
+			hasBest: flagBacking[pos : pos+k : pos+k],
+			dirty:   flagBacking[total+pos : total+pos+k : total+pos+k],
 		}
-		nodes[v] = &proposalFloodNode{
-			comps: r.compID[v],
-			best:  best,
-			dirty: make(map[int32]bool),
-		}
-		procs[v] = nodes[v]
+		copy(nd.best, props[v].best)
+		copy(nd.hasBest, props[v].hasBest)
+		pos += k
+		nodes[v] = nd
+		procs[v] = nd
 	}
 	if err := r.runPhase(procs, seed, 4*r.n+8); err != nil {
 		return nil, fmt.Errorf("proposal flood: %w", err)
 	}
-	out := make([]map[int32][2]int64, r.n)
+	out := make([][][2]int64, r.n)
 	for v := 0; v < r.n; v++ {
-		// Components with no proposal anywhere stay absent; mark with
-		// proposer -1 for members so acceptNode can skip them.
-		m := nodes[v].best
-		for c := range r.compID[v] {
-			if _, ok := m[c]; !ok {
-				m[c] = [2]int64{-1, -1}
+		// Components with no proposal anywhere get proposer -1 so
+		// acceptNode can skip them.
+		best := nodes[v].best
+		for i := range best {
+			if !nodes[v].hasBest[i] {
+				best[i] = [2]int64{-1, -1}
 			}
 		}
-		out[v] = m
+		out[v] = best
 	}
 	return out, nil
 }
@@ -680,81 +827,106 @@ func (r *run) floodBestProposal(props []*proposeNode, seed uint64) ([]map[int32]
 
 // bfsClassNode grows, for every class this node belongs to, a BFS tree
 // from the class leader (the member whose id equals the component id).
+// The parent rule ("first delivery for the class") picks the lowest-id
+// neighbor at the previous BFS depth: deliveries arrive sender-major,
+// and a sender broadcasts each class at most once per round, so the rule
+// is insensitive to the per-sender broadcast order. parent[i] is -2
+// until the BFS reaches the node (-1 marks the root).
 type bfsClassNode struct {
-	member  map[int32]bool
-	leader  map[int32]bool
-	parent  map[int32]int64
-	depth   map[int32]int64
-	dirty   map[int32]bool
-	started bool
+	cls      []int32
+	leader   []bool
+	parent   []int64
+	depth    []int64
+	dirty    []bool
+	hasDirty bool
+	started  bool
 }
 
 func (p *bfsClassNode) Round(ctx *sim.Context, inbox []sim.Delivery) sim.Status {
 	if !p.started {
 		p.started = true
-		for c := range p.leader {
-			p.parent[c] = -1
-			p.depth[c] = 0
-			p.dirty[c] = true
+		for i := range p.cls {
+			if p.leader[i] {
+				p.parent[i] = -1
+				p.depth[i] = 0
+				p.dirty[i] = true
+				p.hasDirty = true
+			}
 		}
 	}
 	for _, d := range inbox {
 		if d.Msg.Kind != kindBFS {
 			continue
 		}
-		c := int32(d.Msg.F[0])
-		if !p.member[c] {
+		i := classIndex(p.cls, int32(d.Msg.F[0]))
+		if i < 0 || p.parent[i] != unreached {
 			continue
 		}
-		if _, reached := p.parent[c]; reached {
-			continue
+		p.parent[i] = int64(d.From)
+		p.depth[i] = d.Msg.F[1] + 1
+		p.dirty[i] = true
+		p.hasDirty = true
+	}
+	if !p.hasDirty {
+		return sim.Done
+	}
+	for i, c := range p.cls {
+		if p.dirty[i] {
+			ctx.Broadcast(sim.Msg(kindBFS, int64(c), p.depth[i]))
+			p.dirty[i] = false
 		}
-		p.parent[c] = int64(d.From)
-		p.depth[c] = d.Msg.F[1] + 1
-		p.dirty[c] = true
 	}
-	sent := false
-	for c := range p.dirty {
-		ctx.Broadcast(sim.Msg(kindBFS, int64(c), p.depth[c]))
-		delete(p.dirty, c)
-		sent = true
-	}
-	if sent {
-		return sim.Active
-	}
-	return sim.Done
+	p.hasDirty = false
+	return sim.Active
 }
+
+// unreached marks a class whose BFS has not arrived at this node.
+const unreached = -2
 
 // extractTrees converts the final classes into dominating trees by
 // per-class distributed BFS from the class leader. This realizes the
 // paper's 0/1-weight MST step: a BFS forest of the 0-weight (same-class)
 // subgraph is such an MST's 0-weight part.
 func (r *run) extractTrees() error {
+	total := 0
+	for v := 0; v < r.n; v++ {
+		total += len(r.clsList[v])
+	}
+	i64Backing := make([]int64, 2*total)
+	flagBacking := make([]bool, 2*total)
 	nodes := make([]*bfsClassNode, r.n)
 	procs := make([]sim.Process, r.n)
+	pos := 0
 	for v := 0; v < r.n; v++ {
-		member := make(map[int32]bool, len(r.hasOld[v]))
-		leader := make(map[int32]bool)
-		for c := range r.hasOld[v] {
-			member[c] = true
-			if id, ok := r.compID[v][c]; ok && id == int64(v) {
-				leader[c] = true
-			}
+		k := len(r.clsList[v])
+		nd := &bfsClassNode{
+			cls:    r.clsList[v],
+			leader: flagBacking[pos : pos+k : pos+k],
+			parent: i64Backing[pos : pos+k : pos+k],
+			depth:  i64Backing[total+pos : total+pos+k : total+pos+k],
+			dirty:  flagBacking[total+pos : total+pos+k : total+pos+k],
 		}
-		nodes[v] = &bfsClassNode{
-			member: member,
-			leader: leader,
-			parent: make(map[int32]int64),
-			depth:  make(map[int32]int64),
-			dirty:  make(map[int32]bool),
+		for i := range nd.parent {
+			nd.parent[i] = unreached
 		}
-		procs[v] = nodes[v]
+		for i := range r.clsList[v] {
+			nd.leader[i] = r.compList[v][i] == int64(v)
+		}
+		pos += k
+		nodes[v] = nd
+		procs[v] = nd
 	}
 	if err := r.runPhase(procs, r.opts.Seed^0x7ee5, 4*r.n+8); err != nil {
 		return fmt.Errorf("tree extraction: %w", err)
 	}
 	for v := 0; v < r.n; v++ {
-		r.parent[v] = nodes[v].parent
+		m := r.parent[v]
+		clear(m)
+		for i, c := range r.clsList[v] {
+			if nodes[v].parent[i] != unreached {
+				m[c] = nodes[v].parent[i]
+			}
+		}
 	}
 	return nil
 }
@@ -766,7 +938,7 @@ func (r *run) extractTrees() error {
 func (r *run) buildPacking() *cds.Packing {
 	classMembers := make([][]int32, r.classes)
 	for v := 0; v < r.n; v++ {
-		for c := range r.hasOld[v] {
+		for _, c := range r.clsList[v] {
 			classMembers[c] = append(classMembers[c], int32(v))
 		}
 	}

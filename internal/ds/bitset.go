@@ -27,6 +27,10 @@ func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
 // Has reports whether i is in the set.
 func (b *Bitset) Has(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
 
+// Words exposes the backing 64-bit words (length ⌈Len()/64⌉) for
+// word-parallel set algebra; callers must not resize it.
+func (b *Bitset) Words() []uint64 { return b.words }
+
 // Count returns the number of elements in the set.
 func (b *Bitset) Count() int {
 	c := 0

@@ -9,17 +9,25 @@ func NewRand(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
-// SplitRand derives an independent stream from a parent seed and a
-// stream index. Distributed nodes use SplitRand(seed, nodeID) so that
-// per-node randomness is independent of scheduling order, matching the
-// paper's model where each node has private coins.
-func SplitRand(seed uint64, stream uint64) *rand.Rand {
+// SplitSeed derives the PCG seed pair SplitRand would use for a stream,
+// so long-lived consumers (the simulator's engine reuse path) can
+// reseed a PCG in place instead of allocating a new generator.
+func SplitSeed(seed uint64, stream uint64) (uint64, uint64) {
 	// SplitMix64-style avalanche of the pair keeps streams decorrelated.
 	z := seed + 0x9e3779b97f4a7c15*(stream+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return rand.New(rand.NewPCG(z, z^0xda942042e4dd58b5))
+	return z, z ^ 0xda942042e4dd58b5
+}
+
+// SplitRand derives an independent stream from a parent seed and a
+// stream index. Distributed nodes use SplitRand(seed, nodeID) so that
+// per-node randomness is independent of scheduling order, matching the
+// paper's model where each node has private coins.
+func SplitRand(seed uint64, stream uint64) *rand.Rand {
+	s1, s2 := SplitSeed(seed, stream)
+	return rand.New(rand.NewPCG(s1, s2))
 }
 
 // Perm fills dst with a uniformly random permutation of 0..len(dst)-1

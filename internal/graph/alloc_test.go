@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestBuilderGraphAllocatesO1Slices pins the CSR finalize cost: one
+// clone of the key list, the edge list, the three CSR arrays, one fill
+// cursor, and the Graph header — independent of vertex count, where the
+// old slice-of-slices layout allocated 2n+O(1).
+func TestBuilderGraphAllocatesO1Slices(t *testing.T) {
+	for _, d := range []int{4, 6, 8} {
+		n := 1 << d
+		b := NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for bit := 0; bit < d; bit++ {
+				if v := u ^ (1 << bit); u < v {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if g := b.Graph(); g.N() != n {
+				t.Fatal("bad graph")
+			}
+		})
+		if allocs > 8 {
+			t.Fatalf("Q%d: Builder.Graph() made %.0f allocations, want O(1) (<= 8)", d, allocs)
+		}
+	}
+}
+
+func benchmarkBuild(b *testing.B, d int) {
+	n := 1 << d
+	bld := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < d; bit++ {
+			if v := u ^ (1 << bit); u < v {
+				bld.AddEdge(u, v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := bld.Graph(); g.M() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkBuilderGraph measures CSR finalization (sort+dedup+two-pass
+// fill) with allocation counts.
+func BenchmarkBuilderGraph(b *testing.B) {
+	for _, d := range []int{6, 8, 10} {
+		b.Run("Q"+string(rune('0'+d/10))+string(rune('0'+d%10)), func(b *testing.B) {
+			benchmarkBuild(b, d)
+		})
+	}
+}
+
+// BenchmarkBuilderAddEdge measures the append-only edge intake.
+func BenchmarkBuilderAddEdge(b *testing.B) {
+	const n = 1 << 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(n)
+		for u := 0; u < n; u++ {
+			bld.AddEdge(u, (u+1)%n)
+			bld.AddEdge(u, (u+7)%n)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -15,28 +16,34 @@ type Edge struct {
 	U, V int32
 }
 
-// Graph is an immutable undirected simple graph on vertices 0..N()-1.
-// Neighbor lists are sorted; every edge has a stable identifier equal to
-// its index in Edges(), which the spanning-tree packing uses for
-// per-edge load accounting.
+// Graph is an immutable undirected simple graph on vertices 0..N()-1 in
+// CSR (compressed sparse row) form: one flat neighbor array and one flat
+// incident-edge-id array, both indexed by per-vertex offsets. Neighbor
+// lists are sorted; every edge has a stable identifier equal to its
+// index in Edges(), which the spanning-tree packing uses for per-edge
+// load accounting.
 type Graph struct {
-	n       int
-	adj     [][]int32 // sorted neighbor lists
-	adjEdge [][]int32 // adjEdge[u][i] = edge id of (u, adj[u][i])
-	edges   []Edge
+	n     int
+	off   []int32 // len n+1: vertex u's adjacency is [off[u], off[u+1])
+	nbr   []int32 // len 2m: flat sorted neighbor lists
+	eid   []int32 // len 2m: eid[p] = edge id of (u, nbr[p])
+	edges []Edge
 }
 
 // Builder accumulates edges and produces a Graph. Duplicate edges and
 // self-loops are silently dropped, so generators can over-propose.
+// Edges are kept as packed (u,v) keys and deduplicated once at finalize
+// time by sort+compact; no per-edge hashing happens unless a caller asks
+// mid-build questions (HasEdge/NumEdges), which build a lazy index.
 type Builder struct {
 	n    int
-	seen map[Edge]bool
-	list []Edge
+	keys []uint64            // (u<<32)|v with u < v; may contain duplicates
+	seen map[uint64]struct{} // lazy, built on first HasEdge/NumEdges call
 }
 
 // NewBuilder returns a Builder for a graph on n vertices.
 func NewBuilder(n int) *Builder {
-	return &Builder{n: n, seen: make(map[Edge]bool)}
+	return &Builder{n: n}
 }
 
 // AddEdge records the undirected edge {u,v}. Self-loops and duplicates
@@ -52,12 +59,25 @@ func (b *Builder) AddEdge(u, v int) {
 	if u > v {
 		u, v = v, u
 	}
-	e := Edge{int32(u), int32(v)}
-	if b.seen[e] {
+	k := uint64(u)<<32 | uint64(v)
+	if b.seen != nil {
+		if _, dup := b.seen[k]; dup {
+			return
+		}
+		b.seen[k] = struct{}{}
+	}
+	b.keys = append(b.keys, k)
+}
+
+// ensureSeen builds the lazy duplicate index from the keys added so far.
+func (b *Builder) ensureSeen() {
+	if b.seen != nil {
 		return
 	}
-	b.seen[e] = true
-	b.list = append(b.list, e)
+	b.seen = make(map[uint64]struct{}, len(b.keys))
+	for _, k := range b.keys {
+		b.seen[k] = struct{}{}
+	}
 }
 
 // HasEdge reports whether {u,v} has been added.
@@ -65,64 +85,62 @@ func (b *Builder) HasEdge(u, v int) bool {
 	if u > v {
 		u, v = v, u
 	}
-	return b.seen[Edge{int32(u), int32(v)}]
+	b.ensureSeen()
+	_, ok := b.seen[uint64(u)<<32|uint64(v)]
+	return ok
 }
 
 // NumEdges returns the number of distinct edges added so far.
-func (b *Builder) NumEdges() int { return len(b.list) }
+func (b *Builder) NumEdges() int {
+	b.ensureSeen()
+	return len(b.seen)
+}
 
-// Graph finalizes the builder into an immutable Graph.
+// Graph finalizes the builder into an immutable Graph. The builder
+// remains usable afterwards.
 func (b *Builder) Graph() *Graph {
-	edges := append([]Edge(nil), b.list...)
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
+	keys := slices.Clone(b.keys)
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+	edges := make([]Edge, len(keys))
+	for i, k := range keys {
+		edges[i] = Edge{U: int32(k >> 32), V: int32(k & 0xffffffff)}
+	}
 	return fromEdges(b.n, edges)
 }
 
+// fromEdges builds the CSR arrays from an edge list sorted by (U,V).
+// Two ordered fill passes leave every neighbor list sorted without any
+// comparison sort: the first pass appends each vertex's lower neighbors
+// (ascending, because edges are sorted by U), the second its higher
+// neighbors (ascending, because for fixed U edges are sorted by V).
 func fromEdges(n int, edges []Edge) *Graph {
-	deg := make([]int32, n)
+	off := make([]int32, n+1)
 	for _, e := range edges {
-		deg[e.U]++
-		deg[e.V]++
+		off[e.U+1]++
+		off[e.V+1]++
 	}
-	adj := make([][]int32, n)
-	adjEdge := make([][]int32, n)
-	for u := range adj {
-		adj[u] = make([]int32, 0, deg[u])
-		adjEdge[u] = make([]int32, 0, deg[u])
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	m2 := int(off[n])
+	nbr := make([]int32, m2)
+	eid := make([]int32, m2)
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for id, e := range edges {
+		p := cur[e.V]
+		cur[e.V] = p + 1
+		nbr[p] = e.U
+		eid[p] = int32(id)
 	}
 	for id, e := range edges {
-		adj[e.U] = append(adj[e.U], e.V)
-		adjEdge[e.U] = append(adjEdge[e.U], int32(id))
-		adj[e.V] = append(adj[e.V], e.U)
-		adjEdge[e.V] = append(adjEdge[e.V], int32(id))
+		p := cur[e.U]
+		cur[e.U] = p + 1
+		nbr[p] = e.V
+		eid[p] = int32(id)
 	}
-	g := &Graph{n: n, adj: adj, adjEdge: adjEdge, edges: edges}
-	for u := 0; u < n; u++ {
-		g.sortAdj(u)
-	}
-	return g
-}
-
-func (g *Graph) sortAdj(u int) {
-	a, e := g.adj[u], g.adjEdge[u]
-	sort.Sort(&adjSorter{a, e})
-}
-
-type adjSorter struct {
-	a []int32
-	e []int32
-}
-
-func (s *adjSorter) Len() int           { return len(s.a) }
-func (s *adjSorter) Less(i, j int) bool { return s.a[i] < s.a[j] }
-func (s *adjSorter) Swap(i, j int) {
-	s.a[i], s.a[j] = s.a[j], s.a[i]
-	s.e[i], s.e[j] = s.e[j], s.e[i]
+	return &Graph{n: n, off: off, nbr: nbr, eid: eid, edges: edges}
 }
 
 // N returns the number of vertices.
@@ -132,7 +150,7 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return len(g.edges) }
 
 // Degree returns the degree of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int { return int(g.off[u+1] - g.off[u]) }
 
 // MinDegree returns the minimum degree over all vertices, or 0 for an
 // empty graph.
@@ -149,13 +167,26 @@ func (g *Graph) MinDegree() int {
 	return min
 }
 
-// Neighbors returns u's sorted neighbor list. The slice is shared; do
-// not modify it.
-func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+// Neighbors returns u's sorted neighbor list — a view into the shared
+// CSR array; do not modify it.
+func (g *Graph) Neighbors(u int) []int32 { return g.nbr[g.off[u]:g.off[u+1]] }
 
-// IncidentEdges returns the edge ids parallel to Neighbors(u). The slice
-// is shared; do not modify it.
-func (g *Graph) IncidentEdges(u int) []int32 { return g.adjEdge[u] }
+// IncidentEdges returns the edge ids parallel to Neighbors(u) — a view
+// into the shared CSR array; do not modify it.
+func (g *Graph) IncidentEdges(u int) []int32 { return g.eid[g.off[u]:g.off[u+1]] }
+
+// AdjOffsets returns the CSR offset array (length N()+1): vertex u's
+// rows in the flat arrays are [AdjOffsets()[u], AdjOffsets()[u+1]).
+// Shared; do not modify.
+func (g *Graph) AdjOffsets() []int32 { return g.off }
+
+// AdjTargets returns the flat CSR neighbor array (length 2M()). Shared;
+// do not modify.
+func (g *Graph) AdjTargets() []int32 { return g.nbr }
+
+// AdjEdgeIDs returns the flat CSR incident-edge-id array parallel to
+// AdjTargets. Shared; do not modify.
+func (g *Graph) AdjEdgeIDs() []int32 { return g.eid }
 
 // Edges returns the edge list indexed by edge id. The slice is shared;
 // do not modify it.
@@ -173,10 +204,10 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	if len(g.adj[u]) > len(g.adj[v]) {
+	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
 	return i < len(a) && a[i] == int32(v)
 }
@@ -186,12 +217,24 @@ func (g *Graph) EdgeID(u, v int) (int, bool) {
 	if u == v {
 		return 0, false
 	}
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
 	if i < len(a) && a[i] == int32(v) {
-		return int(g.adjEdge[u][i]), true
+		return int(g.IncidentEdges(u)[i]), true
 	}
 	return 0, false
+}
+
+// NeighborIndex returns the position of v in u's sorted neighbor list,
+// or -1 when {u,v} is not an edge. The simulator's routing uses it to
+// map sender ids back to adjacency rows.
+func (g *Graph) NeighborIndex(u, v int) int {
+	a := g.Neighbors(u)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	if i < len(a) && a[i] == int32(v) {
+		return i
+	}
+	return -1
 }
 
 // InducedSubgraph returns the subgraph induced by the given vertex set
@@ -212,7 +255,7 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
 	}
 	b := NewBuilder(len(orig))
 	for newU, u := range orig {
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(u) {
 			if newW, ok := index[int(w)]; ok && newU < newW {
 				b.AddEdge(newU, newW)
 			}
@@ -224,13 +267,14 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
 // SubgraphByEdges returns the spanning subgraph of g containing exactly
 // the edges whose ids satisfy keep.
 func (g *Graph) SubgraphByEdges(keep func(edgeID int) bool) *Graph {
-	b := NewBuilder(g.n)
+	kept := make([]Edge, 0, len(g.edges))
 	for id, e := range g.edges {
 		if keep(id) {
-			b.AddEdge(int(e.U), int(e.V))
+			kept = append(kept, e)
 		}
 	}
-	return b.Graph()
+	// g.edges is sorted by (U,V), so the filtered list already is too.
+	return fromEdges(g.n, kept)
 }
 
 // FromEdgeList builds a graph on n vertices from an explicit edge list.

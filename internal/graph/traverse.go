@@ -15,7 +15,7 @@ func BFS(g *Graph, src int) (dist, parent []int32) {
 	queue = append(queue, int32(src))
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(int(u)) {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				parent[v] = u
@@ -43,7 +43,7 @@ func Components(g *Graph) (labels []int32, count int) {
 		queue = append(queue, int32(s))
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(int(u)) {
 				if labels[v] < 0 {
 					labels[v] = int32(count)
 					queue = append(queue, v)
@@ -145,7 +145,7 @@ func BFSRestricted(g *Graph, src int, allowed func(v int) bool) (dist []int32) {
 	queue := []int32{int32(src)}
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(int(u)) {
 			if dist[v] < 0 && allowed(int(v)) {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)

@@ -209,7 +209,7 @@ func SpanningTreeOfSubset(g *Graph, inSet func(v int) bool) (*Tree, error) {
 	queue := []int32{int32(root)}
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(int(u)) {
 			if inSet(int(v)) && t.parent[v] == treeAbsent {
 				t.parent[v] = u
 				t.vertices = append(t.vertices, v)

@@ -74,6 +74,15 @@ func fieldBits(f int64) int {
 	return bits.Len64(uint64(f)) + 1 // +1 sign bit
 }
 
+// FieldBits returns the bit cost the engine charges for one message
+// field: 0 for zero, signed bit-length otherwise. Protocol drivers use
+// it to size WithMaxFieldBits budgets for their value domains.
+func FieldBits(f int64) int { return fieldBits(f) }
+
+// DefaultMaxFieldBits returns the engine's default per-field budget for
+// an n-node graph: 2⌈log2(n+2)⌉+8, i.e. O(log n).
+func DefaultMaxFieldBits(n int) int { return 2*ceilLog2(n+2) + 8 }
+
 // Delivery is a received message together with its sender and the slot
 // it was sent in.
 type Delivery struct {
@@ -112,6 +121,7 @@ type Context struct {
 	engine *Engine
 	node   int32
 	rng    *rand.Rand
+	pcg    *rand.PCG // rng's source, reseeded in place by Engine.Reset
 
 	// outbox for the current round; target = -1 means local broadcast.
 	out       []outMsg

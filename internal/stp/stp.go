@@ -255,12 +255,13 @@ func packLowLambda(g *graph.Graph, lambda int, opts Options) (*Packing, error) {
 		weight float64
 	}
 	collection := make(map[string]*entry)
+	var order []*entry // insertion order, so the packing is seed-deterministic
 	x := make([]float64, m)
 
 	addTree := func(edgeIDs []int, beta float64) {
 		// Scale the old collection by (1-beta) and fold the new tree in.
-		for key := range collection {
-			collection[key].weight *= 1 - beta
+		for _, ent := range order {
+			ent.weight *= 1 - beta
 		}
 		for e := range x {
 			x[e] *= 1 - beta
@@ -270,7 +271,9 @@ func packLowLambda(g *graph.Graph, lambda int, opts Options) (*Packing, error) {
 		if cur, ok := collection[sig]; ok {
 			cur.weight += beta
 		} else {
-			collection[sig] = &entry{tree: treeFromEdges(g, edgeIDs), weight: beta}
+			ent := &entry{tree: treeFromEdges(g, edgeIDs), weight: beta}
+			collection[sig] = ent
+			order = append(order, ent)
 		}
 		for _, e := range edgeIDs {
 			x[e] += beta
@@ -327,7 +330,7 @@ func packLowLambda(g *graph.Graph, lambda int, opts Options) (*Packing, error) {
 	// and total size halfLam/maxZ >= halfLam(1-O(ε)).
 	scale := float64(halfLam) / maxZ
 	p := &Packing{Stats: Stats{Lambda: lambda, Iterations: iterations, MaxLoad: maxZ}}
-	for _, ent := range collection {
+	for _, ent := range order {
 		if w := ent.weight * scale; w > 1e-12 {
 			p.Trees = append(p.Trees, Tree{Tree: ent.tree, Weight: w})
 		}

@@ -190,7 +190,11 @@ type mwuState struct {
 	beta    float64
 	x       []float64
 	trees   map[string]*treeEntry
+	order   []*treeEntry // insertion order, so the packing is seed-deterministic
 	done    bool
+	// runner reuses one simulator engine across the per-iteration MSTs.
+	runner  *dist.MSTRunner
+	weights []int64
 	// lastMeter is the cost of the most recent distributed MST.
 	lastMeter sim.Meter
 	maxIters  int
@@ -219,6 +223,8 @@ func newMWUState(g *graph.Graph, lambda int, opts stp.Options) *mwuState {
 		beta:     1 / (alpha * float64(halfLam)),
 		x:        make([]float64, m),
 		trees:    make(map[string]*treeEntry),
+		runner:   dist.NewMSTRunner(g, sim.ECongest),
+		weights:  make([]int64, m),
 		maxIters: opts.MaxIters,
 	}
 	return st
@@ -232,7 +238,7 @@ func (st *mwuState) step(seed uint64) (int, error) {
 	// Quantize z_e to multiples of 1/(4n) (footnote 6) so MST messages
 	// stay within O(log n) bits.
 	scale := int64(4 * st.g.N())
-	weights := make([]int64, st.g.M())
+	weights := st.weights
 	maxZ := 0.0
 	for e := range weights {
 		z := st.x[e] * float64(st.halfLam)
@@ -242,7 +248,7 @@ func (st *mwuState) step(seed uint64) (int, error) {
 		q := int64(math.Round(z * float64(scale) / 4)) // z <= ~4 after start
 		weights[e] = q
 	}
-	chosen, meter, err := dist.MST(st.g, sim.ECongest, weights, seed, 0)
+	chosen, meter, err := st.runner.MST(weights, seed, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -269,8 +275,8 @@ func (st *mwuState) addTree(edgeIDs []int) {
 	if len(st.trees) == 0 {
 		beta = 1 // first tree takes all the weight
 	}
-	for key := range st.trees {
-		st.trees[key].weight *= 1 - beta
+	for _, ent := range st.order {
+		ent.weight *= 1 - beta
 	}
 	for e := range st.x {
 		st.x[e] *= 1 - beta
@@ -279,7 +285,9 @@ func (st *mwuState) addTree(edgeIDs []int) {
 	if cur, ok := st.trees[sig]; ok {
 		cur.weight += beta
 	} else {
-		st.trees[sig] = &treeEntry{tree: treeFromEdges(st.g, edgeIDs), weight: beta}
+		ent := &treeEntry{tree: treeFromEdges(st.g, edgeIDs), weight: beta}
+		st.trees[sig] = ent
+		st.order = append(st.order, ent)
 	}
 	for _, e := range edgeIDs {
 		st.x[e] += beta
@@ -300,7 +308,7 @@ func (st *mwuState) finish() *stp.Packing {
 	}
 	scaleW := float64(st.halfLam) / maxZ
 	p := &stp.Packing{Stats: stp.Stats{Lambda: st.lambda, Iterations: st.iters, MaxLoad: maxZ}}
-	for _, ent := range st.trees {
+	for _, ent := range st.order {
 		if w := ent.weight * scaleW; w > 1e-12 {
 			p.Trees = append(p.Trees, stp.Tree{Tree: ent.tree, Weight: w})
 		}

@@ -133,7 +133,7 @@ func CheckDistributed(g *graph.Graph, classOf [][]int32, classes int, seed uint6
 		if err := eng.RunPhase(4); err != nil {
 			return res, fmt.Errorf("tester: domination phase: %w", err)
 		}
-		addMeter(&res.Meter, eng.Meter())
+		res.Meter.Add(eng.Meter())
 		for _, nd := range nodes {
 			if nd.failed {
 				domFail = true
@@ -191,7 +191,7 @@ func CheckDistributed(g *graph.Graph, classOf [][]int32, classes int, seed uint6
 		if err != nil {
 			return res, err
 		}
-		addMeter(&res.Meter, &m)
+		res.Meter.Add(&m)
 		// Announcement round: members broadcast component ids; any node
 		// hearing two distinct ids for class c detects a disconnect.
 		procs := make([]sim.Process, n)
@@ -211,7 +211,7 @@ func CheckDistributed(g *graph.Graph, classOf [][]int32, classes int, seed uint6
 		if err := eng.RunPhase(4); err != nil {
 			return res, fmt.Errorf("tester: connectivity phase: %w", err)
 		}
-		addMeter(&res.Meter, eng.Meter())
+		res.Meter.Add(eng.Meter())
 		detected := false
 		for _, nd := range nodes {
 			if nd.detected {
@@ -234,15 +234,6 @@ func approxD(g *graph.Graph) int {
 		d = g.N()
 	}
 	return d
-}
-
-func addMeter(dst *sim.Meter, src *sim.Meter) {
-	dst.RawRounds += src.RawRounds
-	dst.MeteredRounds += src.MeteredRounds
-	dst.ChargedRounds += src.ChargedRounds
-	dst.Messages += src.Messages
-	dst.Bits += src.Bits
-	dst.Phases += src.Phases
 }
 
 // domNode announces this node's class memberships (one slot each) and
