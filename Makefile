@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test bench-short bench fingerprint clean
+.PHONY: ci verify vet build test race fuzz-smoke fingerprint-check bench-short bench fingerprint clean
 
-ci: verify bench-short
+ci: verify race fuzz-smoke fingerprint-check bench-short
 
 verify: vet build test
 
@@ -17,6 +17,24 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-enabled runs of the packages with real concurrency (the simulator
+# worker pool) and of the invariant harness that gates the packers.
+race:
+	$(GO) test -race ./internal/sim ./internal/check
+
+# 10-second fuzz smoke of the CSR builder: random edge streams with
+# duplicates and self-loops must finalize to sorted, deduped, symmetric
+# adjacency with consistent edge ids.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzBuilder$$' -fuzztime 10s ./internal/graph
+
+# Determinism gate: the current build's content-level fingerprint must
+# match the committed golden byte for byte (TestFingerprintGolden is the
+# same gate inside go test). Regenerate after an intentional behavior
+# change with: go test -run TestFingerprintGolden -update .
+fingerprint-check:
+	$(GO) run ./cmd/fingerprint | diff FINGERPRINT.txt -
 
 # Short-mode benches: one iteration each, so CI catches benchmark rot
 # without paying for full measurements.

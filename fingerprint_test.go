@@ -1,0 +1,69 @@
+package decomp_test
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite FINGERPRINT.txt from the current build's output")
+
+// TestFingerprintGolden extends the cmd/fingerprint determinism gate
+// into go test: the content-level fingerprint of every pinned workload
+// (distributed packings, broadcast/gossip schedulers) must match the
+// committed FINGERPRINT.txt byte for byte. A refactor that changes any
+// experiment outcome fails here — in CI — rather than only when someone
+// remembers to diff two fingerprint runs at bench time.
+//
+// After an intentional behavior change, regenerate the golden with
+//
+//	go test -run TestFingerprintGolden -update .
+func TestFingerprintGolden(t *testing.T) {
+	got := fingerprint.Text()
+	if *updateGolden {
+		if err := os.WriteFile("FINGERPRINT.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("FINGERPRINT.txt rewritten (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile("FINGERPRINT.txt")
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first diverging line, not the whole multi-KB blob.
+	gotLines, wantLines := splitLines(got), splitLines(string(want))
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("fingerprint diverges at line %d:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+	}
+	t.Fatal("fingerprint differs from golden (trailing content)")
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -76,22 +76,26 @@ func UniformDemand(n, nMsgs int, rng *rand.Rand) Demand {
 // proportional to tree weight (the paper's "broadcast each message along
 // a random tree").
 func assignTrees(trees []WeightedTree, nMsgs int, rng *rand.Rand) []int {
+	// cum[i] = total weight of trees[0..i]; drawing r in [0, total] and
+	// taking the first i with r <= cum[i] is the original accumulation
+	// scan with the prefix sums hoisted out of the message loop.
+	cum := make([]float64, len(trees))
 	total := 0.0
-	for _, t := range trees {
+	for i, t := range trees {
 		total += t.Weight
+		cum[i] = total
 	}
 	out := make([]int, nMsgs)
 	for i := range out {
 		r := rng.Float64() * total
-		acc := 0.0
-		out[i] = len(trees) - 1
-		for ti, t := range trees {
-			acc += t.Weight
-			if r <= acc {
-				out[i] = ti
+		ti := len(trees) - 1
+		for j, c := range cum {
+			if r <= c {
+				ti = j
 				break
 			}
 		}
+		out[i] = ti
 	}
 	return out
 }
@@ -255,122 +259,246 @@ func runVertexScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, ass
 
 // runEdgeScheduler pipelines each message along its spanning tree's
 // edges; one message per directed edge per round.
+//
+// The round loop is bitmask-parallel in the arc dimension, mirroring the
+// vertex scheduler's treatment: a 64-arcs-per-word activity mask records
+// which directed edges have queued messages, so a round visits only live
+// arcs (word-skip + trailing-zeros iteration) instead of scanning all 2m
+// FIFOs. Congestion meters are not counted per transmission either: a
+// message assigned to tree t crosses every edge of t exactly once and is
+// forwarded by a member v on deg_t(v)-1 arcs (deg_t(v) at its source),
+// so per-edge loads are derived from per-tree edge bitmasks (one
+// popcount-style bit sweep per used tree) and per-vertex loads from the
+// CSR arc offsets — identical, transmission for transmission, to the
+// scalar counters they replace.
 func runEdgeScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assign []int) (Result, error) {
 	n := g.N()
+	m := g.M()
+	nArcs := 2 * m
 	nMsgs := len(demand.Sources)
-	res := Result{TreeLoad: maxCount(assign, len(trees))}
-
-	// treeAdj[t][v] = tree-neighbor list of v in tree t, as (neighbor,
-	// edge id, outgoing direction) triples; the direction index is
-	// precomputed so the relay loop never re-derives endpoints.
-	type arc struct {
-		to  int32
-		eid int32
-		dir int32 // directed index of (v -> to): 2*eid + (v != U)
+	edges := g.Edges()
+	msgsPerTree := make([]int32, len(trees))
+	for _, t := range assign {
+		msgsPerTree[t]++
 	}
-	treeAdj := make([][][]arc, len(trees))
+	res := Result{TreeLoad: int(maxOf32(msgsPerTree))}
+
+	// Per-tree CSR arc lists in shared backing arrays: tree ti's arcs at
+	// vertex v are arcBack[abase[ti]+off[v] : abase[ti]+off[v+1]] with
+	// off = offBack[ti*(n+1):]. An arc is stored as its directed-edge
+	// index dir = 2*eid + side alone — the edge id is dir>>1 and the
+	// receiving endpoint comes from headOf — so arcs are 4 bytes each.
+	// treeEdges[ti] is the tree's edge set as a bitmask over edge ids.
+	// Trees with no assigned messages are never routed through and are
+	// skipped entirely.
+	used := 0
+	for _, c := range msgsPerTree {
+		if c > 0 {
+			used++
+		}
+	}
+	ewords := (m + 63) / 64
+	awords := (nArcs + 63) / 64
+	// One uint64 arena: per-tree edge masks, the live-arc mask and its
+	// per-round snapshot, then the FIFO cursors.
+	u64 := make([]uint64, len(trees)*ewords+2*awords+nArcs)
+	treeEdges := u64[:len(trees)*ewords]
+	activeWords := u64[len(trees)*ewords : len(trees)*ewords+awords]
+	snapWords := u64[len(trees)*ewords+awords : len(trees)*ewords+2*awords]
+	qht := u64[len(trees)*ewords+2*awords:]
+
+	// One int32 arena for everything whose size is known up front.
+	sz0 := len(trees) * (n + 1)     // offBack
+	sz1 := sz0 + 2*used*max(n-1, 0) // arcBack
+	sz2 := sz1 + len(trees)         // abase
+	sz3 := sz2 + n                  // cur
+	sz4 := sz3 + n                  // vertexCong
+	sz5 := sz4 + m                  // edgeCong
+	sz6 := sz5 + nArcs + 1          // qoff
+	sz7 := sz6 + nArcs              // headOf
+	// Each used tree contributes msgs*(n-1) queue slots per direction
+	// pair: total FIFO capacity is known before any load is computed.
+	qcap := 0
+	for _, c := range msgsPerTree {
+		qcap += int(c)
+	}
+	qcap *= 2 * max(n-1, 0)
+	sz8 := sz7 + qcap // qbuf
+	i32a := make([]int32, sz8)
+	offBack := i32a[:sz0]
+	arcBack := i32a[sz0:sz1]
+	abase := i32a[sz1:sz2]
+	cur := i32a[sz2:sz3]
+	tedges := make([]int32, 0, 3*max(n-1, 0)) // (child, parent, eid) triples
+	apos := int32(0)
 	for ti, t := range trees {
-		adj := make([][]arc, n)
+		abase[ti] = apos
+		if msgsPerTree[ti] == 0 {
+			continue
+		}
+		off := offBack[ti*(n+1) : (ti+1)*(n+1)]
+		erow := treeEdges[ti*ewords : (ti+1)*ewords]
+		tedges = tedges[:0]
 		t.Tree.ForEachEdge(func(child, parent int) {
 			eid, ok := g.EdgeID(child, parent)
 			if !ok {
 				return
 			}
-			u, _ := g.Endpoints(eid)
-			childDir, parentDir := int32(2*eid), int32(2*eid+1)
-			if child != u {
+			erow[eid>>6] |= 1 << (uint(eid) & 63)
+			off[child+1]++
+			off[parent+1]++
+			tedges = append(tedges, int32(child), int32(parent), int32(eid))
+		})
+		for v := 0; v < n; v++ {
+			off[v+1] += off[v]
+		}
+		na := off[n]
+		list := arcBack[apos : apos+na]
+		copy(cur, off[:n])
+		for i := 0; i < len(tedges); i += 3 {
+			child, parent, eid := tedges[i], tedges[i+1], tedges[i+2]
+			childDir, parentDir := 2*eid, 2*eid+1
+			if child != edges[eid].U {
 				childDir, parentDir = parentDir, childDir
 			}
-			adj[child] = append(adj[child], arc{int32(parent), int32(eid), childDir})
-			adj[parent] = append(adj[parent], arc{int32(child), int32(eid), parentDir})
-		})
-		treeAdj[ti] = adj
+			list[cur[child]] = childDir
+			cur[child]++
+			list[cur[parent]] = parentDir
+			cur[parent]++
+		}
+		apos += na
 	}
 
-	has := newBitGrid(n, nMsgs)
-	// Per directed edge FIFO of messages; directed index = 2*eid + dir.
-	queues := make([][]int32, 2*g.M())
-	edgeCong := make([]int, g.M())
-	vertexCong := make([]int, n)
-
-	remaining := n * nMsgs
-	relay := func(v int, m int32, fromEdge int32) {
-		if !has.has(v, int(m)) {
-			has.set(v, int(m))
-			remaining--
+	// Congestion, derived up front: every message crosses each edge of
+	// its tree exactly once, and each member v of tree t transmits it
+	// deg_t(v)-1 times (deg_t(v) for the source, which also injects it).
+	// Beyond metering, edgeCong bounds every directed-edge FIFO's total
+	// traffic, which sizes the flat queue buffer below.
+	vertexCong := i32a[sz3:sz4]
+	edgeCong := i32a[sz4:sz5]
+	for ti := range trees {
+		c := msgsPerTree[ti]
+		if c == 0 {
+			continue
 		}
-		for _, a := range treeAdj[assign[m]][v] {
-			if a.eid == fromEdge {
+		off := offBack[ti*(n+1) : (ti+1)*(n+1)]
+		for v := 0; v < n; v++ {
+			vertexCong[v] += c * (off[v+1] - off[v] - 1)
+		}
+		for wi, w := range treeEdges[ti*ewords : (ti+1)*ewords] {
+			for ; w != 0; w &= w - 1 {
+				edgeCong[wi<<6+bits.TrailingZeros64(w)] += c
+			}
+		}
+	}
+	for _, s := range demand.Sources {
+		vertexCong[s]++
+	}
+
+	// Per directed edge FIFO of messages; directed index = 2*eid + side.
+	// Each message traverses an edge in at most one direction, so a
+	// segment of edgeCong[eid] entries per direction always suffices.
+	// qht packs each FIFO's (tail<<32)|head cursor pair into one word;
+	// headOf[dir] is the receiving endpoint, so the send loop never
+	// re-derives endpoints.
+	qoff := i32a[sz5:sz6]
+	for eid, c := range edgeCong {
+		qoff[2*eid+1] = qoff[2*eid] + c
+		qoff[2*eid+2] = qoff[2*eid+1] + c
+	}
+	headOf := i32a[sz6:sz7]
+	qbuf := i32a[sz7:sz8]
+	for eid, e := range edges {
+		headOf[2*eid] = e.V
+		headOf[2*eid+1] = e.U
+	}
+	// Cursors are absolute positions into qbuf, packed (tail<<32)|head
+	// and seeded at the segment base, so the transmission loops never
+	// reload the segment offsets; a FIFO is empty iff head == tail.
+	for dir := range qht {
+		qht[dir] = uint64(qoff[dir]) * (1<<32 + 1)
+	}
+	assign32 := make([]int32, nMsgs)
+	for i, t := range assign {
+		assign32[i] = int32(t)
+	}
+
+	// relay delivers msg at v and forwards it on every tree arc except
+	// the arrival edge. A tree flood visits each vertex exactly once
+	// (arcs of a tree cannot revisit, and the arrival arc is skipped),
+	// so every relay is a fresh delivery and remaining can decrement
+	// unconditionally — no per-(vertex,message) delivered grid needed.
+	remaining := n * nMsgs
+	relay := func(v int, msg int32, fromEdge int32) {
+		remaining--
+		ti := int(assign32[msg])
+		off := offBack[ti*(n+1):]
+		base := abase[ti]
+		for _, dir := range arcBack[base+off[v] : base+off[v+1]] {
+			if dir>>1 == fromEdge {
 				continue
 			}
-			queues[a.dir] = append(queues[a.dir], m)
+			ht := qht[dir]
+			if uint32(ht) == uint32(ht>>32) {
+				activeWords[dir>>6] |= 1 << (uint(dir) & 63)
+			}
+			qbuf[ht>>32] = msg
+			qht[dir] = ht + 1<<32
 		}
 	}
-	for m, s := range demand.Sources {
-		relay(s, int32(m), -1)
+	for msg, s := range demand.Sources {
+		relay(s, int32(msg), -1)
 	}
 
-	type tx struct {
-		dir int
-		m   int32
-	}
-	sends := make([]tx, 0, 2*g.M())
 	maxRounds := 4 * (nMsgs + n) * (len(trees) + 2)
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
 			return res, fmt.Errorf("cast: edge scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
 		}
 		res.Rounds++
-		sends = sends[:0]
-		for dir := range queues {
-			if len(queues[dir]) == 0 {
-				continue
+		// Every arc live at round start transmits its FIFO head, in
+		// ascending directed-edge order like the scalar scan. Popping
+		// from a snapshot of the live mask makes the immediate relay
+		// equivalent to the scalar two-phase loop: a relay only appends
+		// at queue tails and revives bits outside the snapshot, neither
+		// of which a snapshot pop ever re-reads within the round.
+		copy(snapWords, activeWords)
+		for wi, w := range snapWords {
+			for ; w != 0; w &= w - 1 {
+				dir := wi<<6 + bits.TrailingZeros64(w)
+				ht := qht[dir] + 1
+				qht[dir] = ht
+				msg := qbuf[uint32(ht)-1]
+				if uint32(ht) == uint32(ht>>32) {
+					activeWords[wi] &^= 1 << (uint(dir) & 63)
+				}
+				// relay(headOf[dir], msg, dir>>1), open-coded: the Go
+				// inliner rejects the closure, and this loop carries
+				// every transmission of the run.
+				fromEdge := int32(dir) >> 1
+				v := int(headOf[dir])
+				remaining--
+				ti := int(assign32[msg])
+				off := offBack[ti*(n+1):]
+				base := abase[ti]
+				for _, adir := range arcBack[base+off[v] : base+off[v+1]] {
+					if adir>>1 == fromEdge {
+						continue
+					}
+					aht := qht[adir]
+					if uint32(aht) == uint32(aht>>32) {
+						activeWords[adir>>6] |= 1 << (uint(adir) & 63)
+					}
+					qbuf[aht>>32] = msg
+					qht[adir] = aht + 1<<32
+				}
 			}
-			m := queues[dir][0]
-			queues[dir] = queues[dir][1:]
-			sends = append(sends, tx{dir, m})
-		}
-		for _, s := range sends {
-			eid := s.dir / 2
-			u, v := g.Endpoints(eid)
-			tail, head := u, v
-			if s.dir%2 == 1 {
-				tail, head = v, u
-			}
-			edgeCong[eid]++
-			vertexCong[tail]++
-			relay(head, s.m, int32(eid))
 		}
 	}
 	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
-	res.MaxVertexCongestion = maxOf(vertexCong)
-	res.MaxEdgeCongestion = maxOf(edgeCong)
+	res.MaxVertexCongestion = int(maxOf32(vertexCong))
+	res.MaxEdgeCongestion = int(maxOf32(edgeCong))
 	return res, nil
-}
-
-// bitGrid is a dense rows x cols bit matrix.
-type bitGrid struct {
-	words []uint64
-	cols  int
-}
-
-func newBitGrid(rows, cols int) *bitGrid {
-	stride := (cols + 63) / 64
-	return &bitGrid{words: make([]uint64, rows*stride), cols: stride}
-}
-
-func (b *bitGrid) idx(r, c int) (int, uint64) {
-	return r*b.cols + c>>6, 1 << (uint(c) & 63)
-}
-
-func (b *bitGrid) has(r, c int) bool {
-	i, mask := b.idx(r, c)
-	return b.words[i]&mask != 0
-}
-
-func (b *bitGrid) set(r, c int) {
-	i, mask := b.idx(r, c)
-	b.words[i] |= mask
 }
 
 func maxCount(assign []int, k int) int {
@@ -379,6 +507,16 @@ func maxCount(assign []int, k int) int {
 		counts[a]++
 	}
 	return maxOf(counts)
+}
+
+func maxOf32(xs []int32) int32 {
+	var m int32
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 func maxOf(xs []int) int {

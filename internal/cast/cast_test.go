@@ -194,14 +194,3 @@ func TestDeterministicForSeed(t *testing.T) {
 		t.Fatalf("same seed diverged: %+v vs %+v", r1, r2)
 	}
 }
-
-func TestBitGrid(t *testing.T) {
-	b := newBitGrid(3, 100)
-	if b.has(1, 70) {
-		t.Fatal("fresh grid non-empty")
-	}
-	b.set(1, 70)
-	if !b.has(1, 70) || b.has(1, 69) || b.has(0, 70) || b.has(2, 70) {
-		t.Fatal("bitGrid indexing broken")
-	}
-}

@@ -59,7 +59,7 @@ func TestIndependentTreesValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gg := graph.FromEdgeList(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	gg := buildGraph(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
 	if _, err := IndependentTrees(gg, []*graph.Tree{leaf}, 0); err == nil {
 		t.Fatal("non-dominating tree accepted")
 	}

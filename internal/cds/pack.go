@@ -29,6 +29,7 @@ func PackWithGuess(g *graph.Graph, kGuess int, opts Options) (*Packing, error) {
 	}
 	rng := ds.NewRand(opts.Seed ^ (uint64(kGuess) * 0x9e3779b97f4a7c15))
 	vg := newVirtualGraph(g, layers, classes)
+	scratch := newPackScratch(vg)
 	stats := Stats{Guess: kGuess, Layers: layers, Classes: classes}
 
 	// Jump start: layers [0, half) of every type join random classes
@@ -51,7 +52,7 @@ func PackWithGuess(g *graph.Graph, kGuess int, opts Options) (*Packing, error) {
 
 	// Recursive class assignment, one layer at a time.
 	for layer := half; layer < layers; layer++ {
-		matchedCount := assignLayer(g, vg, rng, layer, classes)
+		matchedCount := assignLayer(g, vg, scratch, rng, layer, classes)
 		stats.MatchedPerLayer = append(stats.MatchedPerLayer, matchedCount)
 		stats.ExcessComponents = append(stats.ExcessComponents, vg.excess())
 	}
@@ -59,13 +60,45 @@ func PackWithGuess(g *graph.Graph, kGuess int, opts Options) (*Packing, error) {
 	return buildPacking(g, vg, stats), nil
 }
 
+// packScratch is the epoch-stamped scratch arena shared by every layer
+// of one PackWithGuess run. The per-layer component sets (deactivated,
+// matched) and the per-findMatch potential-matches array are "cleared"
+// by bumping a generation counter instead of reallocating maps, so the
+// matching loop performs no per-call allocation and no hashing.
+type packScratch struct {
+	layerGen int32   // current layer generation
+	deactGen []int32 // per component root: deactivated iff == layerGen
+	matchGen []int32 // per component root: matched iff == layerGen
+
+	pmGen  int32     // current findMatch generation
+	pmSeen []int32   // per class: pm[class] valid iff == pmGen
+	pm     [][]int32 // per class: suitable component roots (App. C array)
+
+	suitable [][]int32 // per vertex: reused across layers
+	order    []int     // matching order permutation, reused across layers
+}
+
+func newPackScratch(vg *virtualGraph) *packScratch {
+	// Generation 0 is never current: layerGen and pmGen are incremented
+	// before first use, so the zeroed stamps mean "not in set".
+	return &packScratch{
+		deactGen: make([]int32, vg.numVirtual()),
+		matchGen: make([]int32, vg.numVirtual()),
+		pmSeen:   make([]int32, vg.classes),
+		pm:       make([][]int32, vg.classes),
+		suitable: make([][]int32, vg.n),
+		order:    make([]int, vg.n),
+	}
+}
+
 // assignLayer performs the paper's recursive class assignment for one
 // new layer: random classes for types 1 and 3, then the bridging-graph
 // maximal matching for type 2 (Appendix C data-structure version).
 // It returns the number of type-2 nodes matched through the bridging
 // graph.
-func assignLayer(g *graph.Graph, vg *virtualGraph, rng *rand.Rand, layer, classes int) int {
+func assignLayer(g *graph.Graph, vg *virtualGraph, s *packScratch, rng *rand.Rand, layer, classes int) int {
 	n := g.N()
+	s.layerGen++
 
 	// Types 1 and 3 join random classes (recorded, merged later).
 	for v := 0; v < n; v++ {
@@ -75,38 +108,34 @@ func assignLayer(g *graph.Graph, vg *virtualGraph, rng *rand.Rand, layer, classe
 
 	// Deactivation: a component already bridged by a type-1 new node of
 	// its own class needs no type-2 match this layer (Appendix B.2).
-	deactivated := make(map[int32]bool)
 	var scratch []int32
 	for v := 0; v < n; v++ {
 		class := vg.class(v, layer, typeOne)
 		scratch = vg.adjacentComponents(v, class, scratch[:0])
 		if len(scratch) >= 2 {
 			for _, root := range scratch {
-				deactivated[root] = true
+				s.deactGen[root] = s.layerGen
 			}
 		}
 	}
 
 	// Suitability: for each type-3 new node, the components of its own
 	// class it is adjacent to (rule (c) of the bridging graph).
-	suitable := make([][]int32, n)
 	for v := 0; v < n; v++ {
 		class := vg.class(v, layer, typeThree)
-		suitable[v] = vg.adjacentComponents(v, class, nil)
+		s.suitable[v] = vg.adjacentComponents(v, class, s.suitable[v][:0])
 	}
 
 	// Maximal matching over the bridging graph, greedily over type-2 new
 	// nodes in random order (Appendix C walks an arbitrary linked list;
 	// a random order is one such list and symmetrizes the analysis).
-	order := make([]int, n)
-	ds.Perm(rng, order)
-	matched := make(map[int32]bool)
+	ds.Perm(rng, s.order)
 	matchedCount := 0
-	for _, v := range order {
-		class, comp := findMatch(g, vg, suitable, deactivated, matched, v, layer)
+	for _, v := range s.order {
+		class, comp := findMatch(g, vg, s, v, layer)
 		if class >= 0 {
 			vg.setClass(v, layer, typeTwo, class)
-			matched[comp] = true
+			s.matchGen[comp] = s.layerGen
 			matchedCount++
 		} else {
 			vg.setClass(v, layer, typeTwo, int32(rng.IntN(classes)))
@@ -126,24 +155,32 @@ func assignLayer(g *graph.Graph, vg *virtualGraph, rng *rand.Rand, layer, classe
 // layer): an active unmatched component C of some class i such that v
 // has a virtual neighbor in C and a type-3 new neighbor of class i that
 // is adjacent to a component of class i other than C. It returns the
-// matched class and component root, or (-1, -1).
-func findMatch(g *graph.Graph, vg *virtualGraph, suitable [][]int32, deactivated, matched map[int32]bool, v, layer int) (int32, int32) {
-	// pm[class] = set of component roots reachable via type-3 new
-	// neighbors of that class (the potential-matches array of App. C).
-	pm := make(map[int32][]int32)
+// matched class and component root, or (-1, -1). Candidate classes are
+// scanned in ascending class order (the sorted representative lists),
+// so the greedy choice is deterministic by construction.
+func findMatch(g *graph.Graph, vg *virtualGraph, s *packScratch, v, layer int) (int32, int32) {
+	// s.pm[class] = set of component roots reachable via type-3 new
+	// neighbors of that class (the potential-matches array of App. C),
+	// valid for this call iff s.pmSeen[class] == s.pmGen.
+	s.pmGen++
 	addSuit := func(u int) {
 		class := vg.class(u, layer, typeThree)
-		for _, root := range suitable[u] {
-			dup := false
-			for _, have := range pm[class] {
+		roots := s.suitable[u]
+		if len(roots) == 0 {
+			return
+		}
+		if s.pmSeen[class] != s.pmGen {
+			s.pmSeen[class] = s.pmGen
+			s.pm[class] = s.pm[class][:0]
+		}
+	outer:
+		for _, root := range roots {
+			for _, have := range s.pm[class] {
 				if have == root {
-					dup = true
-					break
+					continue outer
 				}
 			}
-			if !dup {
-				pm[class] = append(pm[class], root)
-			}
+			s.pm[class] = append(s.pm[class], root)
 		}
 	}
 	addSuit(v)
@@ -153,13 +190,17 @@ func findMatch(g *graph.Graph, vg *virtualGraph, suitable [][]int32, deactivated
 
 	// Scan candidate components adjacent to v, class by class.
 	tryClass := func(u int) (int32, int32) {
-		for class, rep := range vg.rep[u] {
-			root := int32(vg.uf.Find(int(rep)))
-			if matched[root] || deactivated[root] {
+		vids := vg.repVid[u]
+		for i, class := range vg.repCls[u] {
+			root := int32(vg.uf.Find(int(vids[i])))
+			if s.matchGen[root] == s.layerGen || s.deactGen[root] == s.layerGen {
 				continue
 			}
 			// Bridging rule (c): some suitable component differs from root.
-			set := pm[class]
+			var set []int32
+			if s.pmSeen[class] == s.pmGen {
+				set = s.pm[class]
+			}
 			ok := len(set) > 1 || (len(set) == 1 && set[0] != root)
 			if ok {
 				return class, root

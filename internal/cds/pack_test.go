@@ -9,6 +9,17 @@ import (
 	"repro/internal/graph"
 )
 
+// buildGraph constructs test graphs directly through graph.Builder, the
+// same CSR path every generator uses, so these tests exercise no other
+// construction route.
+func buildGraph(n int, edges [][2]int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Graph()
+}
+
 func TestPackWithGuessValidatesInputs(t *testing.T) {
 	g := graph.Complete(4)
 	if _, err := PackWithGuess(g, 0, Options{Seed: 1}); err == nil {
@@ -203,7 +214,7 @@ func TestPackDeterministicForSeed(t *testing.T) {
 }
 
 func TestPackDisconnectedGraphFails(t *testing.T) {
-	g := graph.FromEdgeList(6, [][2]int{{0, 1}, {2, 3}, {4, 5}})
+	g := buildGraph(6, [][2]int{{0, 1}, {2, 3}, {4, 5}})
 	if _, err := Pack(g, Options{Seed: 1}); err == nil {
 		t.Fatal("disconnected graph produced a packing")
 	}

@@ -1,6 +1,8 @@
 package cds
 
 import (
+	"sort"
+
 	"repro/internal/ds"
 	"repro/internal/graph"
 )
@@ -19,6 +21,12 @@ const (
 // Connected components of each class are tracked by a union-find over
 // virtual node ids, with one representative virtual node per (real
 // node, class) so that merging a new virtual node costs O(deg) finds.
+//
+// Representatives are stored as two parallel per-vertex slices sorted by
+// class (repCls/repVid) instead of per-vertex maps: a vertex belongs to
+// O(log n) classes, so lookups are a short binary search and inserts a
+// short shift, and every iteration over a vertex's classes is in
+// ascending class order — deterministic by construction.
 type virtualGraph struct {
 	g       *graph.Graph
 	n       int
@@ -26,8 +34,9 @@ type virtualGraph struct {
 	classes int
 	classOf []int32 // per vid; -1 unassigned
 	uf      *ds.UnionFind
-	rep     []map[int32]int32 // rep[v][class] = representative vid
-	comps   []int32           // comps[class] = live component count
+	repCls  [][]int32 // repCls[v] = sorted classes with a representative at v
+	repVid  [][]int32 // repVid[v][i] = representative vid of class repCls[v][i]
+	comps   []int32   // comps[class] = live component count
 }
 
 func newVirtualGraph(g *graph.Graph, layers, classes int) *virtualGraph {
@@ -39,14 +48,12 @@ func newVirtualGraph(g *graph.Graph, layers, classes int) *virtualGraph {
 		classes: classes,
 		classOf: make([]int32, n*layers*numTypes),
 		uf:      ds.NewUnionFind(n * layers * numTypes),
-		rep:     make([]map[int32]int32, n),
+		repCls:  make([][]int32, n),
+		repVid:  make([][]int32, n),
 		comps:   make([]int32, classes),
 	}
 	for i := range vg.classOf {
 		vg.classOf[i] = -1
-	}
-	for v := range vg.rep {
-		vg.rep[v] = make(map[int32]int32, 8)
 	}
 	return vg
 }
@@ -54,6 +61,12 @@ func newVirtualGraph(g *graph.Graph, layers, classes int) *virtualGraph {
 // vid maps (real node, layer, type) to a virtual node id.
 func (vg *virtualGraph) vid(v, layer, typ int) int32 {
 	return int32((v*vg.layers+layer)*numTypes + typ)
+}
+
+// numVirtual returns the size of the virtual node id space, which sizes
+// the epoch-stamped scratch arrays keyed by component root.
+func (vg *virtualGraph) numVirtual() int {
+	return vg.n * vg.layers * numTypes
 }
 
 // class returns the class of virtual node (v,layer,typ), or -1.
@@ -67,6 +80,30 @@ func (vg *virtualGraph) setClass(v, layer, typ int, class int32) {
 	vg.classOf[vg.vid(v, layer, typ)] = class
 }
 
+// rep returns the representative vid of class at real node v, or -1 when
+// no virtual node of v has joined the class yet.
+func (vg *virtualGraph) rep(v int, class int32) int32 {
+	cls := vg.repCls[v]
+	i := sort.Search(len(cls), func(i int) bool { return cls[i] >= class })
+	if i < len(cls) && cls[i] == class {
+		return vg.repVid[v][i]
+	}
+	return -1
+}
+
+// addRep records vid as the representative of class at real node v,
+// keeping the per-vertex class list sorted.
+func (vg *virtualGraph) addRep(v int, class, id int32) {
+	cls, vids := vg.repCls[v], vg.repVid[v]
+	i := sort.Search(len(cls), func(i int) bool { return cls[i] >= class })
+	cls = append(cls, 0)
+	vids = append(vids, 0)
+	copy(cls[i+1:], cls[i:])
+	copy(vids[i+1:], vids[i:])
+	cls[i], vids[i] = class, id
+	vg.repCls[v], vg.repVid[v] = cls, vids
+}
+
 // merge folds an assigned virtual node into its class's component
 // structure, unioning it with the class representatives at its own real
 // node and at every real neighbor.
@@ -77,15 +114,15 @@ func (vg *virtualGraph) merge(v, layer, typ int) {
 		return
 	}
 	vg.comps[class]++
-	if r, ok := vg.rep[v][class]; ok {
+	if r := vg.rep(v, class); r >= 0 {
 		if vg.uf.Union(int(id), int(r)) {
 			vg.comps[class]--
 		}
 	} else {
-		vg.rep[v][class] = id
+		vg.addRep(v, class, id)
 	}
 	for _, w := range vg.g.Neighbors(v) {
-		if r, ok := vg.rep[w][class]; ok {
+		if r := vg.rep(int(w), class); r >= 0 {
 			if vg.uf.Union(int(id), int(r)) {
 				vg.comps[class]--
 			}
@@ -104,9 +141,9 @@ func (vg *virtualGraph) assign(v, layer, typ int, class int32) {
 // components containing a virtual node of v itself or of a real
 // neighbor of v.
 func (vg *virtualGraph) adjacentComponents(v int, class int32, dst []int32) []int32 {
-	add := func(rv map[int32]int32) {
-		r, ok := rv[class]
-		if !ok {
+	add := func(u int) {
+		r := vg.rep(u, class)
+		if r < 0 {
 			return
 		}
 		root := int32(vg.uf.Find(int(r)))
@@ -117,9 +154,9 @@ func (vg *virtualGraph) adjacentComponents(v int, class int32, dst []int32) []in
 		}
 		dst = append(dst, root)
 	}
-	add(vg.rep[v])
+	add(v)
 	for _, w := range vg.g.Neighbors(v) {
-		add(vg.rep[w])
+		add(int(w))
 	}
 	return dst
 }
@@ -137,29 +174,17 @@ func (vg *virtualGraph) excess() int {
 }
 
 // realClasses projects classes onto real nodes: class i contains real
-// node v iff some virtual node of v joined class i (rep keys record
-// exactly the classes each real node participates in).
+// node v iff some virtual node of v joined class i (repCls records
+// exactly the classes each real node participates in). Members are
+// appended in ascending v, so every class list comes out sorted.
 func (vg *virtualGraph) realClasses() [][]int32 {
 	out := make([][]int32, vg.classes)
 	for v := 0; v < vg.n; v++ {
-		for class := range vg.rep[v] {
+		for _, class := range vg.repCls[v] {
 			out[class] = append(out[class], int32(v))
 		}
 	}
-	for class := range out {
-		sortInt32s(out[class])
-	}
 	return out
-}
-
-func sortInt32s(a []int32) {
-	// Insertion sort is fine: class membership lists are built in near-
-	// sorted order (ascending v), so this is effectively linear.
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // maxLoad returns the maximum over real nodes of the number of distinct
@@ -167,7 +192,7 @@ func sortInt32s(a []int32) {
 func (vg *virtualGraph) maxLoad() int {
 	max := 0
 	for v := 0; v < vg.n; v++ {
-		if l := len(vg.rep[v]); l > max {
+		if l := len(vg.repCls[v]); l > max {
 			max = l
 		}
 	}

@@ -1,0 +1,114 @@
+// Package fingerprint renders the deterministic, content-level
+// fingerprint of the repo's randomized pipelines: packing tree contents
+// (hashed), sizes, and full meters for fixed seeds across several graph
+// families, plus broadcast/gossip scheduler results. Two builds that
+// produce the same text produce byte-identical experiment outcomes, so
+// diffs of this text are the regression gate for refactors of the graph
+// core, the simulator engine, and the schedulers.
+//
+// cmd/fingerprint prints the text; the committed FINGERPRINT.txt golden
+// is compared against it both by `make ci` and by TestFingerprintGolden,
+// so a determinism break fails in CI rather than only at bench time.
+package fingerprint
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	decomp "repro"
+	"repro/internal/cds"
+	"repro/internal/cdsdist"
+	"repro/internal/ds"
+	"repro/internal/graph"
+)
+
+// Text returns the full fingerprint, one line per pinned workload.
+func Text() string {
+	var b strings.Builder
+	packingFingerprints(&b)
+	broadcastFingerprints(&b)
+	return b.String()
+}
+
+// packingFingerprints covers the Theorem 1.1 distributed packing over
+// five graph families and eight seeds each.
+func packingFingerprints(b *strings.Builder) {
+	type tc struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}
+	chain, err := graph.CliqueChain(8, 8, 2)
+	if err != nil {
+		panic(err)
+	}
+	cases := []tc{
+		{"Q4", graph.Hypercube(4), 16},
+		{"Q5", graph.Hypercube(5), 20},
+		{"Q6", graph.Hypercube(6), 24},
+		{"ham64", graph.RandomHamCycles(64, 3, ds.NewRand(1)), 6},
+		{"chain", chain, 2},
+	}
+	for _, c := range cases {
+		for seed := uint64(0); seed < 8; seed++ {
+			res, err := cdsdist.PackWithGuess(c.g, c.k, cds.Options{Seed: seed})
+			if err != nil {
+				panic(err)
+			}
+			h := fnv.New64a()
+			for _, t := range res.Packing.Trees {
+				fmt.Fprintf(h, "%d:%v;", t.Class, t.Tree.Vertices())
+			}
+			m := res.Meter
+			fmt.Fprintf(b, "%s seed=%d size=%.6f raw=%d metered=%d charged=%d msgs=%d bits=%d phases=%d hash=%x\n",
+				c.name, seed, res.Packing.Size(), m.RawRounds, m.MeteredRounds, m.ChargedRounds, m.Messages, m.Bits, m.Phases, h.Sum64())
+		}
+	}
+}
+
+// broadcastFingerprints covers the Corollary 1.4/1.5/A.1 schedulers.
+func broadcastFingerprints(b *strings.Builder) {
+	g := decomp.RandomHamCycles(256, 16, 2)
+	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	srcs := decomp.UniformSources(g.N(), 4*g.N(), 3)
+	for seed := uint64(0); seed < 6; seed++ {
+		multi, err := decomp.Broadcast(g, p, srcs, seed)
+		if err != nil {
+			panic(err)
+		}
+		single, err := decomp.SingleTreeBroadcast(g, srcs, decomp.VCongest, seed)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(b, "V seed=%d multi=%+v single=%+v\n", seed, multi, single)
+	}
+	k := decomp.Complete(16)
+	sp, err := decomp.PackSpanningTrees(k, decomp.WithSeed(1), decomp.WithKnownConnectivity(15))
+	if err != nil {
+		panic(err)
+	}
+	ksrcs := decomp.UniformSources(k.N(), 4*k.N(), 3)
+	for seed := uint64(0); seed < 6; seed++ {
+		multi, err := decomp.BroadcastEdges(k, sp, ksrcs, seed)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(b, "E seed=%d multi=%+v\n", seed, multi)
+	}
+	gg := decomp.RandomHamCycles(128, 12, 3)
+	gp, err := decomp.PackDominatingTrees(gg, decomp.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		res, err := decomp.Gossip(gg, gp, seed)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(b, "G seed=%d res=%+v\n", seed, res)
+	}
+}

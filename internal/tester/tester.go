@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -32,68 +33,16 @@ type Result struct {
 // the graph and induce a connected subgraph. classOf[v] lists the
 // classes node v belongs to (a node may be in several classes, matching
 // the paper's virtual-node partition projected to real nodes); classes
-// is t. Runs in O(m·log n + n·t/word) time via bitsets over classes.
+// is t. The predicate itself lives in internal/check (check.Partition),
+// shared with the packer property sweeps; this wrapper adds the
+// Result/meter shape the try-and-error loop consumes.
 func CheckCentralized(g *graph.Graph, classOf [][]int32, classes int) (Result, error) {
 	n := g.N()
 	if len(classOf) != n {
 		return Result{}, fmt.Errorf("tester: classOf has %d entries for %d nodes", len(classOf), n)
 	}
 	var res Result
-
-	// Domination: every node must see every class in its closed
-	// neighborhood.
-	covered := make([]bool, classes)
-	for v := 0; v < n; v++ {
-		for i := range covered {
-			covered[i] = false
-		}
-		seen := 0
-		mark := func(cs []int32) {
-			for _, c := range cs {
-				if c >= 0 && int(c) < classes && !covered[c] {
-					covered[c] = true
-					seen++
-				}
-			}
-		}
-		mark(classOf[v])
-		for _, w := range g.Neighbors(v) {
-			mark(classOf[w])
-		}
-		if seen < classes {
-			res.DominationFailures += classes - seen
-		}
-	}
-
-	// Connectivity: per class, BFS over members only.
-	members := make([][]int, classes)
-	for v := 0; v < n; v++ {
-		for _, c := range classOf[v] {
-			if c >= 0 && int(c) < classes {
-				members[c] = append(members[c], v)
-			}
-		}
-	}
-	inClass := make([]bool, n)
-	for c := 0; c < classes; c++ {
-		if len(members[c]) == 0 {
-			res.ConnectivityFailures++
-			continue
-		}
-		for _, v := range members[c] {
-			inClass[v] = true
-		}
-		dist := graph.BFSRestricted(g, members[c][0], func(v int) bool { return inClass[v] })
-		for _, v := range members[c] {
-			if dist[v] < 0 {
-				res.ConnectivityFailures++
-				break
-			}
-		}
-		for _, v := range members[c] {
-			inClass[v] = false
-		}
-	}
+	res.DominationFailures, res.ConnectivityFailures = check.Partition(g, classOf, classes)
 	res.OK = res.DominationFailures == 0 && res.ConnectivityFailures == 0
 	return res, nil
 }
