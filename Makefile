@@ -19,9 +19,11 @@ test:
 	$(GO) test ./...
 
 # Race-enabled runs of the packages with real concurrency (the simulator
-# worker pool) and of the invariant harness that gates the packers.
+# worker pool), the invariant harness that gates the packers, and the
+# spanning-tree packers (stpdist drives the worker pool through the MWU
+# loop's per-iteration MSTs).
 race:
-	$(GO) test -race ./internal/sim ./internal/check
+	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist
 
 # 10-second fuzz smoke of the CSR builder: random edge streams with
 # duplicates and self-loops must finalize to sorted, deduped, symmetric

@@ -1,0 +1,119 @@
+package ds
+
+// LexHeap is a binary min-heap over item indices 0..n-1 keyed
+// lexicographically by (key, tie): ties in the float64 key are broken by
+// the int32 tie value. Prim's MST uses it with tie = edge id so that
+// equal-weight graphs yield the same tree as Kruskal's documented
+// edge-id tie-breaking (both then compute the unique MST of the
+// infinitesimally perturbed weights w_e + δ·id_e).
+type LexHeap struct {
+	keys []float64
+	ties []int32
+	heap []int32 // heap[i] = item at heap position i
+	pos  []int32 // pos[item] = heap position, -1 if absent
+}
+
+// NewLexHeap returns an empty heap over items 0..n-1.
+func NewLexHeap(n int) *LexHeap {
+	h := &LexHeap{
+		keys: make([]float64, n),
+		ties: make([]int32, n),
+		heap: make([]int32, 0, n),
+		pos:  make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *LexHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether item is currently in the heap.
+func (h *LexHeap) Contains(item int) bool { return h.pos[item] >= 0 }
+
+// Key returns item's current (key, tie); meaningful only if the item has
+// been pushed at least once.
+func (h *LexHeap) Key(item int) (float64, int32) { return h.keys[item], h.ties[item] }
+
+// less reports whether item a precedes item b in (key, tie) order.
+func (h *LexHeap) less(a, b int32) bool {
+	if h.keys[a] != h.keys[b] {
+		return h.keys[a] < h.keys[b]
+	}
+	return h.ties[a] < h.ties[b]
+}
+
+// Push inserts item with the given (key, tie). The item must not be in
+// the heap.
+func (h *LexHeap) Push(item int, key float64, tie int32) {
+	h.keys[item] = key
+	h.ties[item] = tie
+	h.pos[item] = int32(len(h.heap))
+	h.heap = append(h.heap, int32(item))
+	h.up(len(h.heap) - 1)
+}
+
+// DecreaseKey lowers item's (key, tie) and reports whether it did; it is
+// a no-op when the new pair does not lexicographically precede the
+// current one.
+func (h *LexHeap) DecreaseKey(item int, key float64, tie int32) bool {
+	if key > h.keys[item] || (key == h.keys[item] && tie >= h.ties[item]) {
+		return false
+	}
+	h.keys[item] = key
+	h.ties[item] = tie
+	h.up(int(h.pos[item]))
+	return true
+}
+
+// PopMin removes and returns the item with the lexicographically
+// smallest (key, tie).
+func (h *LexHeap) PopMin() (item int, key float64, tie int32) {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return int(top), h.keys[top], h.ties[top]
+}
+
+func (h *LexHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *LexHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.heap[l], h.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *LexHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}

@@ -1,0 +1,96 @@
+package ds
+
+// OrderedLoads maintains a permutation of the ids 0..m-1 sorted by
+// (load, id) ascending under the update pattern of the spanning-tree
+// packing's MWU loop: every iteration multiplies all loads by the same
+// (1-β) — which preserves relative order — and then adds β to a sparse
+// set of "bumped" ids (the chosen tree edges). Reorder folds a bumped
+// set back into the maintained order with one O(m) merge instead of the
+// O(m log m) full sort the loop would otherwise pay per iteration.
+//
+// The maintained permutation is exactly the one sort.Slice produces
+// under the same (load, id) comparator, so a consumer that scans it
+// (Kruskal's union-find pass) sees bit-identical edge order.
+type OrderedLoads struct {
+	order  []int32
+	rest   []int32 // scratch: the non-bumped ids, in maintained order
+	bumped []bool  // scratch mask, always false between calls
+}
+
+// NewOrderedLoads returns the identity order over ids 0..m-1, which is
+// the (load, id)-sorted order of an all-equal load vector.
+func NewOrderedLoads(m int) *OrderedLoads {
+	o := &OrderedLoads{
+		order:  make([]int32, m),
+		rest:   make([]int32, 0, m),
+		bumped: make([]bool, m),
+	}
+	for i := range o.order {
+		o.order[i] = int32(i)
+	}
+	return o
+}
+
+// Order returns the maintained permutation, sorted by (load, id)
+// ascending. The slice is owned by OrderedLoads; callers must not
+// modify it, and it is invalidated by the next Reorder.
+func (o *OrderedLoads) Order() []int32 { return o.order }
+
+// MaxID returns the id with the maximum (load, id) — the last element
+// of the order — in O(1).
+func (o *OrderedLoads) MaxID() int32 { return o.order[len(o.order)-1] }
+
+// Reorder restores (load, id) order after an order-preserving rescale
+// of all loads followed by a bump of the given ids. bumpedIDs must
+// itself be sorted by (load, id) under the new loads and contain no
+// duplicates. loads holds the new (post-rescale, post-bump) values.
+//
+// A float subtlety: the rescale can round two distinct loads onto the
+// same value, leaving a formerly load-ordered pair tied and therefore
+// id-ordered the wrong way. The merge alone would preserve that stale
+// relative order, so a final insertion pass repairs such runs; it is
+// O(m) plus one swap per rounding collision, which keeps the whole
+// update linear in practice.
+func (o *OrderedLoads) Reorder(loads []float64, bumpedIDs []int32) {
+	for _, id := range bumpedIDs {
+		o.bumped[id] = true
+	}
+	o.rest = o.rest[:0]
+	for _, id := range o.order {
+		if !o.bumped[id] {
+			o.rest = append(o.rest, id)
+		}
+	}
+	for _, id := range bumpedIDs {
+		o.bumped[id] = false
+	}
+
+	// Merge the two (load, id)-sorted sequences.
+	out := o.order[:0]
+	i, j := 0, 0
+	for i < len(o.rest) && j < len(bumpedIDs) {
+		a, b := o.rest[i], bumpedIDs[j]
+		if loads[a] < loads[b] || (loads[a] == loads[b] && a < b) {
+			out = append(out, a)
+			i++
+		} else {
+			out = append(out, b)
+			j++
+		}
+	}
+	out = append(out, o.rest[i:]...)
+	out = append(out, bumpedIDs[j:]...)
+	o.order = out
+
+	// Repair rounding-collision ties: insertion sort is O(m) on the
+	// already-sorted result and touches only genuinely inverted pairs.
+	for i := 1; i < len(o.order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := o.order[j-1], o.order[j]
+			if loads[a] < loads[b] || (loads[a] == loads[b] && a < b) {
+				break
+			}
+			o.order[j-1], o.order[j] = b, a
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Package ds provides the small data structures shared by the
-// connectivity-decomposition substrates: union-find, bitsets, an indexed
-// heap, and deterministic random-number streams.
+// connectivity-decomposition substrates: union-find, bitsets, a
+// lexicographic indexed heap, the load-order maintenance helper behind
+// the spanning-tree MWU engine, and deterministic random-number streams.
 package ds
 
 // UnionFind is a disjoint-set forest with union by rank and path halving.

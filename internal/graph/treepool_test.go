@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/ds"
+)
+
+// treeFromEdgesReference is the allocation-heavy path the pool replaces:
+// rebuild a Graph from the tree edges and BFS it.
+func treeFromEdgesReference(g *Graph, edgeIDs []int, root int) *Tree {
+	b := NewBuilder(g.N())
+	for _, e := range edgeIDs {
+		u, v := g.Endpoints(e)
+		b.AddEdge(u, v)
+	}
+	return TreeFromBFS(b.Graph(), root)
+}
+
+// spanningEdgeIDs picks a deterministic spanning tree of g by a BFS over
+// edge ids.
+func spanningEdgeIDs(t *testing.T, g *Graph) []int {
+	t.Helper()
+	uf := ds.NewUnionFind(g.N())
+	var ids []int
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if uf.Union(u, v) {
+			ids = append(ids, e)
+		}
+	}
+	if len(ids) != g.N()-1 {
+		t.Fatalf("graph not connected: %d tree edges for n=%d", len(ids), g.N())
+	}
+	return ids
+}
+
+func TestTreePoolMatchesBuilderBFS(t *testing.T) {
+	cases := []*Graph{
+		Hypercube(4),
+		Complete(12),
+		Torus(4, 5),
+		Cycle(9),
+	}
+	pool := NewTreePool(32)
+	for _, g := range cases {
+		ids := spanningEdgeIDs(t, g)
+		got, err := pool.SpanningFromEdgeIDs(g, ids, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := treeFromEdgesReference(g, ids, 0)
+		if got.Root() != want.Root() || got.Size() != want.Size() {
+			t.Fatalf("root/size mismatch: got (%d,%d) want (%d,%d)", got.Root(), got.Size(), want.Root(), want.Size())
+		}
+		for v := 0; v < g.N(); v++ {
+			gp, gok := got.Parent(v)
+			wp, wok := want.Parent(v)
+			if gp != wp || gok != wok {
+				t.Fatalf("parent[%d]: got (%d,%v) want (%d,%v)", v, gp, gok, wp, wok)
+			}
+		}
+		if err := got.ValidateIn(g); err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsSpanning(g) {
+			t.Fatal("pool tree not spanning")
+		}
+	}
+}
+
+func TestTreePoolReusedAcrossTrees(t *testing.T) {
+	g := Complete(10)
+	pool := NewTreePool(g.N())
+	// Two different spanning trees through the same pool must not bleed
+	// adjacency into each other.
+	star := make([]int, 0, g.N()-1)
+	for v := 1; v < g.N(); v++ {
+		id, ok := g.EdgeID(0, v)
+		if !ok {
+			t.Fatalf("edge (0,%d) missing", v)
+		}
+		star = append(star, id)
+	}
+	path := make([]int, 0, g.N()-1)
+	for v := 0; v < g.N()-1; v++ {
+		id, ok := g.EdgeID(v, v+1)
+		if !ok {
+			t.Fatalf("edge (%d,%d) missing", v, v+1)
+		}
+		path = append(path, id)
+	}
+	for trial := 0; trial < 3; trial++ {
+		for _, ids := range [][]int{star, path} {
+			got, err := pool.SpanningFromEdgeIDs(g, ids, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := treeFromEdgesReference(g, ids, 0)
+			for v := 0; v < g.N(); v++ {
+				gp, _ := got.Parent(v)
+				wp, _ := want.Parent(v)
+				if gp != wp {
+					t.Fatalf("trial %d parent[%d]: got %d want %d", trial, v, gp, wp)
+				}
+			}
+		}
+	}
+}
+
+func TestTreePoolRejectsNonSpanning(t *testing.T) {
+	g := Cycle(6)
+	ids := spanningEdgeIDs(t, g)
+	if _, err := NewTreePool(g.N()).SpanningFromEdgeIDs(g, ids[:len(ids)-1], 0); err == nil {
+		t.Fatal("accepted too few edges")
+	}
+	// n-1 edges that do not span: duplicate-component shape — a path on
+	// {0,1,2} plus an edge of {3,4} leaves 5 unreached with 4 edges on C6.
+	bad := []int{ids[0], ids[1], ids[2], ids[3]}
+	pool := NewTreePool(g.N())
+	if _, err := pool.SpanningFromEdgeIDs(g, bad[:3], 0); err == nil {
+		t.Fatal("accepted 3 edges for n=6")
+	}
+}

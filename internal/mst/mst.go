@@ -43,18 +43,21 @@ func Kruskal(g *graph.Graph, weight func(edgeID int) float64) []int {
 
 // Prim computes a minimum spanning tree of the component containing
 // root and returns it as a graph.Tree. It is the oracle used when only
-// one component matters.
+// one component matters. Equal weights break by edge id, exactly like
+// Kruskal: both then compute the unique MST of the infinitesimally
+// perturbed weights w_e + δ·id_e, so the two oracles agree even on
+// all-equal-weight graphs.
 func Prim(g *graph.Graph, root int, weight func(edgeID int) float64) *graph.Tree {
-	h := ds.NewIndexHeap(g.N())
+	h := ds.NewLexHeap(g.N())
 	parent := make(map[int]int)
 	bestEdge := make([]int32, g.N())
 	inTree := make([]bool, g.N())
 	for i := range bestEdge {
 		bestEdge[i] = -1
 	}
-	h.Push(root, 0)
+	h.Push(root, 0, -1)
 	for h.Len() > 0 {
-		u, _ := h.PopMin()
+		u, _, _ := h.PopMin()
 		inTree[u] = true
 		if be := bestEdge[u]; be >= 0 {
 			a, b := g.Endpoints(int(be))
@@ -72,13 +75,10 @@ func Prim(g *graph.Graph, root int, weight func(edgeID int) float64) *graph.Tree
 			}
 			w := weight(int(eids[i]))
 			if !h.Contains(int(v)) {
-				if bestEdge[v] == -1 || w < h.Key(int(v)) {
-					bestEdge[v] = eids[i]
-				}
-				h.Push(int(v), w)
-			} else if w < h.Key(int(v)) {
 				bestEdge[v] = eids[i]
-				h.DecreaseKey(int(v), w)
+				h.Push(int(v), w, eids[i])
+			} else if h.DecreaseKey(int(v), w, eids[i]) {
+				bestEdge[v] = eids[i]
 			}
 		}
 	}
@@ -113,6 +113,14 @@ type LogSumExp struct {
 // NewLogSumExp returns an empty accumulator.
 func NewLogSumExp() *LogSumExp {
 	return &LogSumExp{maxExp: math.Inf(-1), empty: true}
+}
+
+// Reset returns the accumulator to the empty state so hot loops (one
+// Lemma F.1 test per MWU iteration) can reuse it without allocating.
+func (l *LogSumExp) Reset() {
+	l.maxExp = math.Inf(-1)
+	l.sum = 0
+	l.empty = true
 }
 
 // Add accumulates mult * exp(exponent). Zero multipliers are ignored.

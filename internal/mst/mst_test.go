@@ -88,6 +88,56 @@ func TestPrimMatchesKruskalWeight(t *testing.T) {
 	}
 }
 
+// TestPrimKruskalAgreeOnEqualWeights feeds both oracles all-equal
+// weights on several families: with the edge-id tie-break on each side,
+// both compute the unique MST of the perturbed weights w_e + δ·id_e, so
+// the trees must be identical edge sets — not merely equal in weight.
+func TestPrimKruskalAgreeOnEqualWeights(t *testing.T) {
+	rng := ds.NewRand(97)
+	cases := []*graph.Graph{
+		graph.Hypercube(4),
+		graph.Complete(9),
+		graph.Torus(3, 4),
+		graph.RandomHamCycles(20, 2, rng),
+	}
+	for ci, g := range cases {
+		kr := Kruskal(g, unitWeight)
+		inKruskal := make(map[int]bool, len(kr))
+		for _, id := range kr {
+			inKruskal[id] = true
+		}
+		tree := Prim(g, 0, unitWeight)
+		count := 0
+		tree.ForEachEdge(func(child, parent int) {
+			id, ok := g.EdgeID(child, parent)
+			if !ok {
+				t.Fatalf("case %d: Prim edge (%d,%d) not in graph", ci, child, parent)
+			}
+			if !inKruskal[id] {
+				t.Fatalf("case %d: Prim edge %d not chosen by Kruskal", ci, id)
+			}
+			count++
+		})
+		if count != len(kr) {
+			t.Fatalf("case %d: Prim tree has %d edges, Kruskal %d", ci, count, len(kr))
+		}
+	}
+}
+
+// TestPrimTieBreakPrefersSmallerEdgeID pins the tie-break directly: on
+// an all-equal-weight multigraph-free diamond, vertex 3 is reachable
+// through edge (1,3) or (2,3); the smaller edge id must win.
+func TestPrimTieBreakPrefersSmallerEdgeID(t *testing.T) {
+	// FromEdgeList assigns ids in sorted (u,v) order: (0,1)=0, (0,2)=1,
+	// (1,3)=2, (2,3)=3.
+	g := graph.FromEdgeList(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	tree := Prim(g, 0, unitWeight)
+	p, ok := tree.Parent(3)
+	if !ok || p != 1 {
+		t.Fatalf("vertex 3's parent = %d (ok=%v), want 1 via edge id 2", p, ok)
+	}
+}
+
 func TestPrimSingleVertex(t *testing.T) {
 	g := graph.NewBuilder(1).Graph()
 	tree := Prim(g, 0, unitWeight)

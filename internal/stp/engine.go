@@ -1,0 +1,347 @@
+package stp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/mst"
+)
+
+// MSTOracle computes one MWU iteration's minimum spanning tree under the
+// engine's current per-edge loads and returns the chosen edge ids plus
+// the distributed rounds the computation cost (0 for centralized
+// oracles). Centralized oracles should return the edges in the engine's
+// maintained (load, id) order; distributed oracles may return them in
+// any order (internal/dist returns them id-sorted).
+type MSTOracle func(e *Engine, seed uint64) (chosen []int, rounds int, err error)
+
+// Engine is the Section 5.1 Lagrangian-relaxation loop shared by the
+// centralized (internal/stp) and distributed (internal/stpdist)
+// spanning-tree packers, parameterized by the MST oracle. Its hot path
+// is incremental:
+//
+//   - The per-iteration (1-β) rescale preserves relative edge order, so
+//     instead of re-sorting all m edges per iteration the engine keeps a
+//     ds.OrderedLoads permutation and folds the n-1 bumped tree edges
+//     back in with one O(m) merge (same weight-then-edge-id tie-break,
+//     so the centralized oracle's union-find scan picks bit-identical
+//     trees).
+//   - max_e z_e reads off the order's tail in O(1).
+//   - The Lemma F.1 stop test (Cost(MST) > (1-ε)·Σ c_e·x_e with
+//     c_e = exp(α·z_e)) is gated by an O(1) conservative bound: when
+//     log(n-1) + α·max_{e∈MST} z_e is far below the largest term of the
+//     full log-sum-exp, the test provably cannot fire and the O(m)
+//     exponential rescan is skipped. When the bound is inconclusive the
+//     test is evaluated exactly as before, so the stop iteration — and
+//     with it the packing — is unchanged.
+//   - Distinct trees are deduplicated by FNV-1a hashing of sorted edge
+//     ids over a reused scratch buffer (with stored-id verification on
+//     hash hits) instead of per-iteration string signatures, and new
+//     trees are materialized through a pooled graph.TreePool builder.
+//
+// The engine does not stop on its own after the Lemma F.1 test is
+// guarded: the first Step seeds the collection with the oracle's tree at
+// weight 1 and skips the stop test entirely (all loads are still zero,
+// which would trivially satisfy it — the iters > 1 guard both loops now
+// share). Callers bound the loop with Options.MaxIters.
+type Engine struct {
+	g       *graph.Graph
+	lambda  int
+	halfLam int
+	eps     float64
+	alpha   float64
+	beta    float64
+
+	x     []float64        // per-edge load x_e (z_e = x_e·halfLam)
+	order *ds.OrderedLoads // edge ids sorted by (x_e, id)
+
+	entries  []*packEntry
+	sigIndex map[uint64][]int32 // FNV-1a of sorted edge ids -> entry indices
+
+	// Scratch reused across iterations.
+	uf      *ds.UnionFind
+	chosen  []int   // centralized oracle output
+	byLoad  []int32 // chosen sorted by (load, id), merge input
+	byID    []int   // chosen sorted by id, signature input
+	pool    *graph.TreePool
+	costMST *mst.LogSumExp
+	costAll *mst.LogSumExp
+
+	// Constants of the skip bound.
+	logTreeEdges float64 // log(n-1)
+	logOneMinusE float64 // log(1-ε)
+
+	oracle MSTOracle
+	iters  int
+	done   bool
+}
+
+// packEntry is one distinct tree of the collection with its accumulated
+// weight; ids holds the sorted edge ids for hash-collision verification.
+type packEntry struct {
+	tree   *graph.Tree
+	ids    []int32
+	weight float64
+}
+
+// skipMargin is the log-domain safety margin of the conservative stop
+// bound. The bound compares exact-arithmetic envelopes of two LogSumExp
+// accumulations whose float error is bounded by ~m·ulp of the result
+// (≪ 1e-9 in the log domain); a margin of 1.0 dwarfs that by nine
+// orders of magnitude, so a skipped test can never have fired.
+const skipMargin = 1.0
+
+// NewEngine returns an engine over g for edge connectivity lambda. opts
+// must already be normalized (Pack and stpdist.Pack both normalize
+// before constructing engines); only Epsilon is read.
+func NewEngine(g *graph.Graph, lambda int, opts Options, oracle MSTOracle) *Engine {
+	n, m := g.N(), g.M()
+	halfLam := ceilHalf(lambda - 1) // ⌈(λ-1)/2⌉, the Tutte/Nash-Williams bound
+	if halfLam < 1 {
+		halfLam = 1
+	}
+	eps := opts.Epsilon
+	alpha := math.Log(2*float64(m)/eps) / eps
+	return &Engine{
+		g:            g,
+		lambda:       lambda,
+		halfLam:      halfLam,
+		eps:          eps,
+		alpha:        alpha,
+		beta:         1 / (alpha * float64(halfLam)),
+		x:            make([]float64, m),
+		order:        ds.NewOrderedLoads(m),
+		sigIndex:     make(map[uint64][]int32),
+		uf:           ds.NewUnionFind(n),
+		chosen:       make([]int, 0, n-1),
+		byLoad:       make([]int32, 0, n-1),
+		byID:         make([]int, 0, n-1),
+		pool:         graph.NewTreePool(n),
+		costMST:      mst.NewLogSumExp(),
+		costAll:      mst.NewLogSumExp(),
+		logTreeEdges: math.Log(float64(n - 1)),
+		logOneMinusE: math.Log(1 - eps),
+		oracle:       oracle,
+	}
+}
+
+// Graph returns the host graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// HalfLambda returns ⌈(λ-1)/2⌉ clamped to at least 1, the packing-size
+// target the loads are scaled by.
+func (e *Engine) HalfLambda() int { return e.halfLam }
+
+// Loads returns the per-edge load vector x_e (z_e = x_e·HalfLambda()).
+// The slice is owned by the engine; oracles read it, nobody writes it.
+func (e *Engine) Loads() []float64 { return e.x }
+
+// Done reports whether the Lemma F.1 stop test (or the direct load
+// check) has fired.
+func (e *Engine) Done() bool { return e.done }
+
+// Iterations returns the number of Steps taken, including the initial
+// weight-1 tree and the step on which the stop test fired.
+func (e *Engine) Iterations() int { return e.iters }
+
+// Step runs one MWU iteration: MST under the current loads, the stop
+// test (skipped on the first step — see the type comment), and the
+// (1-β)-rescale-plus-β-bump collection update. It returns the oracle's
+// distributed rounds.
+func (e *Engine) Step(seed uint64) (int, error) {
+	if e.done {
+		return 0, fmt.Errorf("stp: Step after engine stopped")
+	}
+	e.iters++
+	chosen, rounds, err := e.oracle(e, seed)
+	if err != nil {
+		return rounds, err
+	}
+	if e.iters > 1 && e.shouldStop(chosen) {
+		e.done = true
+		return rounds, nil
+	}
+	beta := e.beta
+	if e.iters == 1 {
+		beta = 1 // first tree takes all the weight
+	}
+	if err := e.addTree(chosen, beta); err != nil {
+		return rounds, err
+	}
+	return rounds, nil
+}
+
+// MaxLoad returns max_e z_e in O(1) from the maintained order's tail.
+func (e *Engine) MaxLoad() float64 {
+	return e.x[e.order.MaxID()] * float64(e.halfLam)
+}
+
+// shouldStop evaluates the two stop conditions of the Section 5.1 loop:
+// the direct load check maxZ <= 1+2ε and the Lemma F.1 certificate
+// Cost(MST) > (1-ε)·Σ c_e·x_e. Both break identically, so the cheap
+// O(1) check runs first and the exponential rescan runs only when the
+// conservative bound cannot rule the certificate out.
+func (e *Engine) shouldStop(chosen []int) bool {
+	halfLamF := float64(e.halfLam)
+	maxZ := e.MaxLoad()
+	if maxZ <= 1+2*e.eps {
+		return true
+	}
+
+	// Conservative bound: Cost(MST) <= (n-1)·exp(max_{e∈MST} α·z_e) and
+	// Σ c_e·x_e >= x_max·exp(α·maxZ), so when the left envelope sits
+	// skipMargin below the right one the certificate cannot fire and the
+	// O(m) rescan is skipped. Far from convergence the MST avoids loaded
+	// edges and the envelopes differ by hundreds in the log domain.
+	maxExpMST := math.Inf(-1)
+	for _, c := range chosen {
+		if exp := e.alpha * e.x[c] * halfLamF; exp > maxExpMST {
+			maxExpMST = exp
+		}
+	}
+	xMax := e.x[e.order.MaxID()]
+	if e.logTreeEdges+maxExpMST+skipMargin < e.logOneMinusE+e.alpha*maxZ+math.Log(xMax) {
+		return false
+	}
+
+	e.costMST.Reset()
+	for _, c := range chosen {
+		e.costMST.Add(e.alpha*e.x[c]*halfLamF, 1)
+	}
+	e.costAll.Reset()
+	for i := range e.x {
+		z := e.x[i] * halfLamF
+		e.costAll.Add(e.alpha*z, e.x[i])
+	}
+	return e.costMST.GreaterThan(e.costAll, 1-e.eps)
+}
+
+// addTree folds the chosen tree into the collection at weight beta:
+// scale everything old by (1-beta), bump the tree edges, restore the
+// maintained order, and deduplicate against the existing trees.
+func (e *Engine) addTree(chosen []int, beta float64) error {
+	for _, ent := range e.entries {
+		ent.weight *= 1 - beta
+	}
+	for i := range e.x {
+		e.x[i] *= 1 - beta
+	}
+	for _, c := range chosen {
+		e.x[c] += beta
+	}
+
+	// The merge wants the bumped ids sorted by (load, id) under the new
+	// loads. The centralized oracle already emits that order (the bump
+	// is load-monotone), so the insertion sort is a linear verification
+	// pass; the distributed oracle's id-sorted output reorders cheaply.
+	byLoad := e.byLoad[:0]
+	for _, c := range chosen {
+		byLoad = append(byLoad, int32(c))
+	}
+	for i := 1; i < len(byLoad); i++ {
+		for j := i; j > 0; j-- {
+			a, b := byLoad[j-1], byLoad[j]
+			if e.x[a] < e.x[b] || (e.x[a] == e.x[b] && a < b) {
+				break
+			}
+			byLoad[j-1], byLoad[j] = b, a
+		}
+	}
+	e.byLoad = byLoad
+	e.order.Reorder(e.x, byLoad)
+
+	byID := append(e.byID[:0], chosen...)
+	sort.Ints(byID)
+	e.byID = byID
+	sig := fnvEdgeIDs(byID)
+	for _, idx := range e.sigIndex[sig] {
+		if ent := e.entries[idx]; edgeIDsEqual(ent.ids, byID) {
+			ent.weight += beta
+			return nil
+		}
+	}
+	tree, err := e.pool.SpanningFromEdgeIDs(e.g, byID, 0)
+	if err != nil {
+		return fmt.Errorf("stp: oracle tree invalid: %w", err)
+	}
+	ids := make([]int32, len(byID))
+	for i, id := range byID {
+		ids[i] = int32(id)
+	}
+	e.entries = append(e.entries, &packEntry{tree: tree, ids: ids, weight: beta})
+	e.sigIndex[sig] = append(e.sigIndex[sig], int32(len(e.entries)-1))
+	return nil
+}
+
+// Finish rescales the collection into a valid packing: weights
+// w_τ·halfLam/maxZ give per-edge load z_e/maxZ <= 1 and total size
+// halfLam/maxZ >= halfLam(1-O(ε)).
+func (e *Engine) Finish() *Packing {
+	maxZ := e.MaxLoad()
+	if maxZ <= 0 {
+		maxZ = 1
+	}
+	scale := float64(e.halfLam) / maxZ
+	p := &Packing{Stats: Stats{Lambda: e.lambda, Iterations: e.iters, MaxLoad: maxZ}}
+	for _, ent := range e.entries {
+		if w := ent.weight * scale; w > 1e-12 {
+			p.Trees = append(p.Trees, Tree{Tree: ent.tree, Weight: w})
+		}
+	}
+	p.Stats.DistinctTrees = len(p.Trees)
+	return p
+}
+
+// KruskalOracle is the centralized MST oracle: because the engine keeps
+// the edges sorted by (load, id), Kruskal reduces to one union-find scan
+// — no per-iteration sort. The returned slice is engine scratch, valid
+// until the next Step.
+func KruskalOracle(e *Engine, _ uint64) ([]int, int, error) {
+	e.uf.Reset()
+	chosen := e.chosen[:0]
+	want := e.g.N() - 1
+	for _, id := range e.order.Order() {
+		u, v := e.g.Endpoints(int(id))
+		if e.uf.Union(u, v) {
+			chosen = append(chosen, int(id))
+			if len(chosen) == want {
+				break
+			}
+		}
+	}
+	e.chosen = chosen
+	return chosen, 0, nil
+}
+
+// fnvEdgeIDs hashes sorted edge ids with FNV-1a over their 4-byte
+// little-endian encodings — the byte stream the old string signature
+// built, without materializing it.
+func fnvEdgeIDs(ids []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, e := range ids {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(e >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func edgeIDsEqual(a []int32, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if int(a[i]) != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package stp
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mst"
+)
+
+// TestKruskalOracleMatchesFullSortPerIteration gates the incremental
+// hot path against the specification it replaced: at every MWU
+// iteration, the union-find scan over the maintained (load, id) order
+// must choose exactly the edges a from-scratch mst.Kruskal sort picks
+// under the same loads and tie-break.
+func TestKruskalOracleMatchesFullSortPerIteration(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		lambda int
+	}{
+		{"K10", graph.Complete(10), 9},
+		{"Q4", graph.Hypercube(4), 4},
+		{"Torus4x4", graph.Torus(4, 4), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Epsilon: 0.15}.normalize(tc.g.N())
+			checked := 0
+			oracle := func(e *Engine, seed uint64) ([]int, int, error) {
+				chosen, rounds, err := KruskalOracle(e, seed)
+				if err != nil {
+					return chosen, rounds, err
+				}
+				x := e.Loads()
+				want := mst.Kruskal(e.Graph(), func(id int) float64 { return x[id] })
+				if len(chosen) != len(want) {
+					t.Fatalf("iteration %d: %d chosen vs %d reference", e.Iterations(), len(chosen), len(want))
+				}
+				for i := range want {
+					if chosen[i] != want[i] {
+						t.Fatalf("iteration %d: chosen[%d] = %d, reference %d", e.Iterations(), i, chosen[i], want[i])
+					}
+				}
+				checked++
+				return chosen, rounds, nil
+			}
+			eng := NewEngine(tc.g, tc.lambda, opts, oracle)
+			for iter := 0; iter < 400 && !eng.Done(); iter++ {
+				if _, err := eng.Step(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if checked < 10 {
+				t.Fatalf("only %d iterations exercised", checked)
+			}
+			p := eng.Finish()
+			if err := p.Validate(tc.g); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEngineMaxLoadMatchesScan pins the O(1) order-tail MaxLoad against
+// the O(m) rescan it replaced.
+func TestEngineMaxLoadMatchesScan(t *testing.T) {
+	g := graph.Complete(12)
+	opts := Options{Epsilon: 0.2}.normalize(g.N())
+	eng := NewEngine(g, 11, opts, KruskalOracle)
+	for iter := 0; iter < 150 && !eng.Done(); iter++ {
+		if _, err := eng.Step(0); err != nil {
+			t.Fatal(err)
+		}
+		maxZ := 0.0
+		for _, x := range eng.Loads() {
+			if z := x * float64(eng.HalfLambda()); z > maxZ {
+				maxZ = z
+			}
+		}
+		if got := eng.MaxLoad(); got != maxZ {
+			t.Fatalf("iteration %d: MaxLoad() = %v, scan says %v", eng.Iterations(), got, maxZ)
+		}
+	}
+}
+
+// TestEngineDeduplicatesTrees checks the hashed signature path: packing
+// a cycle (whose MWU loop revisits the same trees constantly) must
+// produce distinct entries only, with weights aggregated.
+func TestEngineDeduplicatesTrees(t *testing.T) {
+	g := graph.Cycle(8)
+	opts := Options{Epsilon: 0.1}.normalize(g.N())
+	eng := NewEngine(g, 2, opts, KruskalOracle)
+	for iter := 0; iter < 200 && !eng.Done(); iter++ {
+		if _, err := eng.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Iterations() <= len(eng.entries) && eng.Iterations() > 8 {
+		t.Fatalf("no deduplication: %d iterations, %d entries", eng.Iterations(), len(eng.entries))
+	}
+	seen := make(map[string]bool)
+	for _, ent := range eng.entries {
+		key := ""
+		for _, id := range ent.ids {
+			key += string(rune(id)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("duplicate tree entry %v", ent.ids)
+		}
+		seen[key] = true
+	}
+}

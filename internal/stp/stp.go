@@ -16,12 +16,10 @@ package stp
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/ds"
 	"repro/internal/flow"
 	"repro/internal/graph"
-	"repro/internal/mst"
 )
 
 // Tree is one weighted spanning tree of a packing.
@@ -45,8 +43,13 @@ type Stats struct {
 	Iterations int
 	// MaxLoad is max_e z_e before rescaling (Lemma F.1 bounds it 1+6ε).
 	MaxLoad float64
-	// Subgraphs is η, the number of sampled subgraphs (1 = no sampling).
+	// Subgraphs is η, the number of sampled subgraphs the run attempted
+	// (1 = no sampling).
 	Subgraphs int
+	// SubgraphsPacked counts the sampled subgraphs that actually packed;
+	// disconnected samples (a low-probability event) are skipped, so the
+	// Theorem 1.3 size accounting must divide by this, not by Subgraphs.
+	SubgraphsPacked int
 	// DistinctTrees counts distinct trees in the collection.
 	DistinctTrees int
 }
@@ -187,6 +190,7 @@ func Pack(g *graph.Graph, opts Options) (*Packing, error) {
 			return nil, err
 		}
 		p.Stats.Subgraphs = 1
+		p.Stats.SubgraphsPacked = 1
 		return p, nil
 	}
 
@@ -225,6 +229,7 @@ func Pack(g *graph.Graph, opts Options) (*Packing, error) {
 		// Trees of a spanning subgraph are spanning trees of g; re-host
 		// them (edges exist in g by construction).
 		out.Trees = append(out.Trees, sp.Trees...)
+		out.Stats.SubgraphsPacked++
 		out.Stats.Iterations += sp.Stats.Iterations
 		if sp.Stats.MaxLoad > out.Stats.MaxLoad {
 			out.Stats.MaxLoad = sp.Stats.MaxLoad
@@ -237,105 +242,24 @@ func Pack(g *graph.Graph, opts Options) (*Packing, error) {
 	return &out, nil
 }
 
-// packLowLambda is the Section 5.1 loop for λ = O(log n).
+// packLowLambda is the Section 5.1 loop for λ = O(log n), run on the
+// shared incremental Engine with the centralized Kruskal-order oracle.
+// The first Step seeds the collection with a weight-1 spanning tree
+// (Kruskal under all-zero loads = unit weights); every further Step is
+// one MWU iteration, so Stats.Iterations keeps its historical meaning of
+// MWU iterations after the initial tree.
 func packLowLambda(g *graph.Graph, lambda int, opts Options) (*Packing, error) {
-	n := g.N()
-	m := g.M()
-	halfLam := ceilHalf(lambda - 1) // ⌈(λ-1)/2⌉, the Tutte/Nash-Williams bound
-	if halfLam < 1 {
-		halfLam = 1
+	eng := NewEngine(g, lambda, opts, KruskalOracle)
+	if _, err := eng.Step(0); err != nil {
+		return nil, err
 	}
-	eps := opts.Epsilon
-	alpha := math.Log(2*float64(m)/eps) / eps
-
-	// Collection state: distinct trees keyed by edge-set signature, with
-	// accumulated weights; per-edge load x_e maintained incrementally.
-	type entry struct {
-		tree   *graph.Tree
-		weight float64
-	}
-	collection := make(map[string]*entry)
-	var order []*entry // insertion order, so the packing is seed-deterministic
-	x := make([]float64, m)
-
-	addTree := func(edgeIDs []int, beta float64) {
-		// Scale the old collection by (1-beta) and fold the new tree in.
-		for _, ent := range order {
-			ent.weight *= 1 - beta
-		}
-		for e := range x {
-			x[e] *= 1 - beta
-		}
-		sort.Ints(edgeIDs)
-		sig := signature(edgeIDs)
-		if cur, ok := collection[sig]; ok {
-			cur.weight += beta
-		} else {
-			ent := &entry{tree: treeFromEdges(g, edgeIDs), weight: beta}
-			collection[sig] = ent
-			order = append(order, ent)
-		}
-		for _, e := range edgeIDs {
-			x[e] += beta
+	for iter := 0; iter < opts.MaxIters && !eng.Done(); iter++ {
+		if _, err := eng.Step(0); err != nil {
+			return nil, err
 		}
 	}
-
-	// Start with an arbitrary spanning tree at weight 1.
-	first := mst.Kruskal(g, func(int) float64 { return 1 })
-	if len(first) != n-1 {
-		return nil, fmt.Errorf("stp: initial spanning tree incomplete")
-	}
-	addTree(first, 1)
-
-	beta := 1 / (alpha * float64(halfLam))
-	iterations := 0
-	for iter := 0; iter < opts.MaxIters; iter++ {
-		iterations++
-		// z_e = x_e * halfLam; MST under c_e = exp(alpha*z_e) — order is
-		// monotone in z_e, so Kruskal can sort by z_e directly.
-		chosen := mst.Kruskal(g, func(e int) float64 { return x[e] })
-		costMST := mst.NewLogSumExp()
-		for _, e := range chosen {
-			costMST.Add(alpha*x[e]*float64(halfLam), 1)
-		}
-		costAll := mst.NewLogSumExp()
-		maxZ := 0.0
-		for e := 0; e < m; e++ {
-			z := x[e] * float64(halfLam)
-			costAll.Add(alpha*z, x[e])
-			if z > maxZ {
-				maxZ = z
-			}
-		}
-		if costMST.GreaterThan(costAll, 1-eps) {
-			break // Lemma F.1: max_e z_e <= 1+6ε
-		}
-		if maxZ <= 1+2*eps {
-			break // direct load check — a centralized shortcut to the
-			// same guarantee the MST-cost test certifies
-		}
-		addTree(chosen, beta)
-	}
-
-	maxZ := 0.0
-	for e := 0; e < m; e++ {
-		if z := x[e] * float64(halfLam); z > maxZ {
-			maxZ = z
-		}
-	}
-	if maxZ <= 0 {
-		maxZ = 1
-	}
-	// Rescale: weights w_τ*halfLam/maxZ give per-edge load z_e/maxZ <= 1
-	// and total size halfLam/maxZ >= halfLam(1-O(ε)).
-	scale := float64(halfLam) / maxZ
-	p := &Packing{Stats: Stats{Lambda: lambda, Iterations: iterations, MaxLoad: maxZ}}
-	for _, ent := range order {
-		if w := ent.weight * scale; w > 1e-12 {
-			p.Trees = append(p.Trees, Tree{Tree: ent.tree, Weight: w})
-		}
-	}
-	p.Stats.DistinctTrees = len(p.Trees)
+	p := eng.Finish()
+	p.Stats.Iterations = eng.Iterations() - 1
 	return p, nil
 }
 
@@ -344,23 +268,6 @@ func ceilHalf(x int) int {
 		return 0
 	}
 	return (x + 1) / 2
-}
-
-func signature(sortedEdgeIDs []int) string {
-	buf := make([]byte, 0, 4*len(sortedEdgeIDs))
-	for _, e := range sortedEdgeIDs {
-		buf = append(buf, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
-	}
-	return string(buf)
-}
-
-func treeFromEdges(g *graph.Graph, edgeIDs []int) *graph.Tree {
-	b := graph.NewBuilder(g.N())
-	for _, e := range edgeIDs {
-		u, v := g.Endpoints(e)
-		b.AddEdge(u, v)
-	}
-	return graph.TreeFromBFS(b.Graph(), 0)
 }
 
 // IntegralPack produces edge-disjoint spanning trees of count

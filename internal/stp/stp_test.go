@@ -90,6 +90,10 @@ func TestPackKnownLambdaSkipsEstimation(t *testing.T) {
 	if p.Stats.Lambda != 4 {
 		t.Fatalf("Stats.Lambda = %d, want 4", p.Stats.Lambda)
 	}
+	if p.Stats.Subgraphs != 1 || p.Stats.SubgraphsPacked != 1 {
+		t.Fatalf("unsampled run reports Subgraphs=%d SubgraphsPacked=%d, want 1/1",
+			p.Stats.Subgraphs, p.Stats.SubgraphsPacked)
+	}
 }
 
 func TestPackSamplingPathForLargeLambda(t *testing.T) {
@@ -102,6 +106,9 @@ func TestPackSamplingPathForLargeLambda(t *testing.T) {
 	}
 	if p.Stats.Subgraphs < 2 {
 		t.Fatalf("sampling did not engage: η=%d", p.Stats.Subgraphs)
+	}
+	if p.Stats.SubgraphsPacked < 1 || p.Stats.SubgraphsPacked > p.Stats.Subgraphs {
+		t.Fatalf("SubgraphsPacked=%d outside [1, η=%d]", p.Stats.SubgraphsPacked, p.Stats.Subgraphs)
 	}
 	if err := p.Validate(g); err != nil {
 		t.Fatal(err)

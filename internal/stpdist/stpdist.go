@@ -3,11 +3,17 @@
 //
 // Each MWU iteration runs one distributed MST (internal/dist's Borůvka
 // phases standing in for Kutten–Peleg, DESIGN.md substitution 2) under
-// edge loads quantized to multiples of Θ(1/n) — the paper's footnote-6
+// edge loads quantized to multiples of 1/(4n) — the paper's footnote-6
 // rounding that keeps messages within O(log n) bits. The
 // stop-or-continue decision is the leader's: we compute it driver-side
 // and charge one BFS-tree convergecast (D rounds) per iteration, as the
 // paper describes.
+//
+// The MWU loop itself — load bookkeeping, the Lemma F.1 stop test with
+// its iters > 1 first-step guard, tree deduplication, the final rescale
+// — is stp.Engine, shared with the centralized packer; this package
+// contributes only the distributed MST oracle and the round/bit
+// accounting around it.
 //
 // For general λ, the η sampled subgraphs are edge-disjoint, so their
 // MSTs compose congestion-free in E-CONGEST: a joint iteration is
@@ -23,7 +29,6 @@ import (
 	"repro/internal/ds"
 	"repro/internal/flow"
 	"repro/internal/graph"
-	"repro/internal/mst"
 	"repro/internal/sim"
 	"repro/internal/stp"
 )
@@ -104,11 +109,11 @@ func Pack(g *graph.Graph, opts stp.Options) (*Result, error) {
 		anyActive := false
 		iterRounds := 0
 		for i, st := range states {
-			if st == nil || st.done {
+			if st == nil || st.eng.Done() {
 				continue
 			}
 			anyActive = true
-			rounds, err := st.step(opts.Seed + uint64(iter*len(states)+i))
+			rounds, err := st.eng.Step(opts.Seed + uint64(iter*len(states)+i))
 			if err != nil {
 				return nil, fmt.Errorf("stpdist: subgraph %d iteration %d: %w", i, iter, err)
 			}
@@ -131,8 +136,9 @@ func Pack(g *graph.Graph, opts stp.Options) (*Result, error) {
 		if st == nil {
 			continue
 		}
-		p := st.finish()
+		p := st.eng.Finish()
 		out.Trees = append(out.Trees, p.Trees...)
+		out.Stats.SubgraphsPacked++
 		out.Stats.DistinctTrees += p.Stats.DistinctTrees
 		if p.Stats.MaxLoad > out.Stats.MaxLoad {
 			out.Stats.MaxLoad = p.Stats.MaxLoad
@@ -180,170 +186,48 @@ func addBitsAndMessages(dst *sim.Meter, src *sim.Meter) {
 	// MeteredRounds handled by the caller (parallel composition).
 }
 
-// mwuState is the per-subgraph MWU loop state.
+// mwuState couples one subgraph's shared MWU engine with the distributed
+// MST oracle feeding it: a reused MSTRunner (one simulator engine and all
+// per-node protocol state across iterations) plus the quantized weight
+// buffer and the cost meter of the most recent MST.
 type mwuState struct {
-	g       *graph.Graph
-	lambda  int
-	halfLam int
-	eps     float64
-	alpha   float64
-	beta    float64
-	x       []float64
-	trees   map[string]*treeEntry
-	order   []*treeEntry // insertion order, so the packing is seed-deterministic
-	done    bool
-	// runner reuses one simulator engine across the per-iteration MSTs.
-	runner  *dist.MSTRunner
+	eng    *stp.Engine
+	runner *dist.MSTRunner
+	// weights is the footnote-6 quantization buffer, reused per iteration.
 	weights []int64
 	// lastMeter is the cost of the most recent distributed MST.
 	lastMeter sim.Meter
-	maxIters  int
-	iters     int
-}
-
-type treeEntry struct {
-	tree   *graph.Tree
-	weight float64
 }
 
 func newMWUState(g *graph.Graph, lambda int, opts stp.Options) *mwuState {
-	halfLam := ceilHalf(lambda - 1) // ⌈(λ-1)/2⌉
-	if halfLam < 1 {
-		halfLam = 1
-	}
-	eps := opts.Epsilon
-	m := g.M()
-	alpha := math.Log(2*float64(m)/eps) / eps
 	st := &mwuState{
-		g:        g,
-		lambda:   lambda,
-		halfLam:  halfLam,
-		eps:      eps,
-		alpha:    alpha,
-		beta:     1 / (alpha * float64(halfLam)),
-		x:        make([]float64, m),
-		trees:    make(map[string]*treeEntry),
-		runner:   dist.NewMSTRunner(g, sim.ECongest),
-		weights:  make([]int64, m),
-		maxIters: opts.MaxIters,
+		runner:  dist.NewMSTRunner(g, sim.ECongest),
+		weights: make([]int64, g.M()),
 	}
+	st.eng = stp.NewEngine(g, lambda, opts, st.oracle)
 	return st
 }
 
-// step runs one distributed MWU iteration and returns the MST's metered
-// rounds. It sets done when the Lemma F.1 condition (or the direct load
-// check) fires.
-func (st *mwuState) step(seed uint64) (int, error) {
-	st.iters++
-	// Quantize z_e to multiples of 1/(4n) (footnote 6) so MST messages
-	// stay within O(log n) bits.
-	scale := int64(4 * st.g.N())
-	weights := st.weights
-	maxZ := 0.0
-	for e := range weights {
-		z := st.x[e] * float64(st.halfLam)
-		if z > maxZ {
-			maxZ = z
-		}
-		q := int64(math.Round(z * float64(scale) / 4)) // z <= ~4 after start
-		weights[e] = q
+// quantScale returns the footnote-6 quantization denominator 4n: loads
+// are rounded to multiples of 1/(4n), which keeps every MST message
+// within O(log n) bits while staying below the β = 1/(α·⌈(λ-1)/2⌉)
+// step the analysis tolerates.
+func quantScale(n int) float64 { return float64(4 * n) }
+
+// oracle is the distributed MST oracle: quantize z_e to multiples of
+// 1/(4n) (footnote 6) and run one Borůvka-phase MST on the simulator.
+func (st *mwuState) oracle(e *stp.Engine, seed uint64) ([]int, int, error) {
+	scale := quantScale(e.Graph().N())
+	halfLam := float64(e.HalfLambda())
+	x := e.Loads()
+	for i := range st.weights {
+		z := x[i] * halfLam
+		st.weights[i] = int64(math.Round(z * scale))
 	}
-	chosen, meter, err := st.runner.MST(weights, seed, 0)
+	chosen, meter, err := st.runner.MST(st.weights, seed, 0)
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	st.lastMeter = meter
-
-	costMST := mst.NewLogSumExp()
-	for _, e := range chosen {
-		costMST.Add(st.alpha*st.x[e]*float64(st.halfLam), 1)
-	}
-	costAll := mst.NewLogSumExp()
-	for e := range st.x {
-		costAll.Add(st.alpha*st.x[e]*float64(st.halfLam), st.x[e])
-	}
-	if st.iters > 1 && (costMST.GreaterThan(costAll, 1-st.eps) || maxZ <= 1+2*st.eps) {
-		st.done = true
-		return meter.TotalRounds(), nil
-	}
-	st.addTree(chosen)
-	return meter.TotalRounds(), nil
-}
-
-func (st *mwuState) addTree(edgeIDs []int) {
-	beta := st.beta
-	if len(st.trees) == 0 {
-		beta = 1 // first tree takes all the weight
-	}
-	for _, ent := range st.order {
-		ent.weight *= 1 - beta
-	}
-	for e := range st.x {
-		st.x[e] *= 1 - beta
-	}
-	sig := signature(edgeIDs)
-	if cur, ok := st.trees[sig]; ok {
-		cur.weight += beta
-	} else {
-		ent := &treeEntry{tree: treeFromEdges(st.g, edgeIDs), weight: beta}
-		st.trees[sig] = ent
-		st.order = append(st.order, ent)
-	}
-	for _, e := range edgeIDs {
-		st.x[e] += beta
-	}
-}
-
-// finish rescales the collection into a valid packing, exactly as the
-// centralized code does.
-func (st *mwuState) finish() *stp.Packing {
-	maxZ := 0.0
-	for e := range st.x {
-		if z := st.x[e] * float64(st.halfLam); z > maxZ {
-			maxZ = z
-		}
-	}
-	if maxZ <= 0 {
-		maxZ = 1
-	}
-	scaleW := float64(st.halfLam) / maxZ
-	p := &stp.Packing{Stats: stp.Stats{Lambda: st.lambda, Iterations: st.iters, MaxLoad: maxZ}}
-	for _, ent := range st.order {
-		if w := ent.weight * scaleW; w > 1e-12 {
-			p.Trees = append(p.Trees, stp.Tree{Tree: ent.tree, Weight: w})
-		}
-	}
-	p.Stats.DistinctTrees = len(p.Trees)
-	return p
-}
-
-func ceilHalf(x int) int {
-	if x <= 0 {
-		return 0
-	}
-	return (x + 1) / 2
-}
-
-func signature(edgeIDs []int) string {
-	// edge ids are unique per tree; sort-free signature via sorted copy.
-	ids := append([]int(nil), edgeIDs...)
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	buf := make([]byte, 0, 4*len(ids))
-	for _, e := range ids {
-		buf = append(buf, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
-	}
-	return string(buf)
-}
-
-func treeFromEdges(g *graph.Graph, edgeIDs []int) *graph.Tree {
-	b := graph.NewBuilder(g.N())
-	for _, e := range edgeIDs {
-		u, v := g.Endpoints(e)
-		b.AddEdge(u, v)
-	}
-	return graph.TreeFromBFS(b.Graph(), 0)
+	return chosen, meter.TotalRounds(), nil
 }

@@ -8,6 +8,59 @@ import (
 	"repro/internal/stp"
 )
 
+// TestQuantizationStepIsQuarterOverN pins the footnote-6 granularity:
+// loads quantize to multiples of 1/(4n), the resolution the O(log n)-bit
+// message budget is sized for. The seed shipped with round(z·4n/4),
+// which collapses the grid to 1/n — four distinct quarter-steps mapped
+// to one weight — so this is the regression gate for that bug.
+func TestQuantizationStepIsQuarterOverN(t *testing.T) {
+	const n = 8
+	scale := quantScale(n)
+	if scale != 4*n {
+		t.Fatalf("quantScale(%d) = %v, want %v", n, scale, 4*n)
+	}
+	// Consecutive multiples of 1/(4n) must quantize to consecutive
+	// integers: the step size is exactly 1/(4n).
+	for k := 0; k < 64; k++ {
+		z := float64(k) / (4 * n)
+		if q := int64(math.Round(z * scale)); q != int64(k) {
+			t.Fatalf("z=%d/(4·%d) quantized to %d, want %d", k, n, q, k)
+		}
+	}
+	// Sub-half-step perturbations must not move the quantized value.
+	z := 3.0 / (4 * n)
+	if q := int64(math.Round((z + 1/(16.0*n)) * scale)); q != 3 {
+		t.Fatalf("z+1/(16n) quantized to %d, want 3", q)
+	}
+	// The old bug: round(z·scale/4) maps 3/(4n) and 4/(4n) both to 1.
+	if old3, old4 := int64(math.Round(3.0/(4*n)*scale/4)), int64(math.Round(4.0/(4*n)*scale/4)); old3 != old4 {
+		t.Fatalf("regression-test premise wrong: old quantization gave %d vs %d", old3, old4)
+	} else if q3, q4 := int64(math.Round(3.0/(4*n)*scale)), int64(math.Round(4.0/(4*n)*scale)); q3 == q4 {
+		t.Fatalf("fixed quantization still collapses quarter-steps: %d == %d", q3, q4)
+	}
+}
+
+// TestStatsSubgraphsAttemptedVsPacked forces the η-sampling path and
+// checks that Stats separates the attempted subgraph count from the
+// count that actually packed (disconnected samples are skipped).
+func TestStatsSubgraphsAttemptedVsPacked(t *testing.T) {
+	g := graph.Complete(24) // λ=23
+	res, err := Pack(g, stp.Options{Seed: 2, KnownLambda: 23, Epsilon: 0.3, SampleThreshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Packing.Stats
+	if s.Subgraphs < 2 {
+		t.Fatalf("sampling did not engage: η=%d", s.Subgraphs)
+	}
+	if s.SubgraphsPacked < 1 || s.SubgraphsPacked > s.Subgraphs {
+		t.Fatalf("SubgraphsPacked=%d outside [1, %d]", s.SubgraphsPacked, s.Subgraphs)
+	}
+	if err := res.Packing.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPackValidation(t *testing.T) {
 	if _, err := Pack(graph.NewBuilder(1).Graph(), stp.Options{}); err == nil {
 		t.Fatal("single vertex accepted")
