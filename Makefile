@@ -1,11 +1,11 @@
 # Tier-1 verification plus the bench workflow. `make ci` is what every
-# PR must keep green.
+# PR must keep green — locally and in .github/workflows/ci.yml.
 
 GO ?= go
 
-.PHONY: ci verify vet build test race fuzz-smoke fingerprint-check bench-short bench fingerprint clean
+.PHONY: ci verify vet build test fmt-check race fuzz-smoke fingerprint-check bench-short bench bench-check fingerprint clean
 
-ci: verify race fuzz-smoke fingerprint-check bench-short
+ci: fmt-check verify race fuzz-smoke fingerprint-check bench-short
 
 verify: vet build test
 
@@ -18,12 +18,20 @@ build:
 test:
 	$(GO) test ./...
 
+# Every tracked Go file must be gofmt-clean.
+fmt-check:
+	@files=$$(git ls-files '*.go' | xargs gofmt -l); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt -w needed on:"; echo "$$files"; exit 1; \
+	fi
+
 # Race-enabled runs of the packages with real concurrency (the simulator
-# worker pool), the invariant harness that gates the packers, and the
+# worker pool), the invariant harness that gates the packers, the
 # spanning-tree packers (stpdist drives the worker pool through the MWU
-# loop's per-iteration MSTs).
+# loop's per-iteration MSTs), and cast now that Scheduler handles are
+# long-lived objects serving repeated demands.
 race:
-	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist
+	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist ./internal/cast
 
 # 10-second fuzz smoke of the CSR builder: random edge streams with
 # duplicates and self-loops must finalize to sorted, deduped, symmetric
@@ -51,10 +59,19 @@ BASELINE ?=
 bench:
 	$(GO) run ./cmd/bench -label $(LABEL) $(if $(BASELINE),-baseline $(BASELINE))
 
+# Pre-merge regression gate: rerun the full E1-E5 measurement and fail
+# if any benchmark is more than TOLERANCE (fractional) slower than the
+# committed baseline:
+#   make bench-check [CHECK_BASELINE=BENCH_pr4.json] [TOLERANCE=0.20]
+CHECK_BASELINE ?= BENCH_pr4.json
+TOLERANCE ?= 0.20
+bench-check:
+	$(GO) run ./cmd/bench -check -baseline $(CHECK_BASELINE) -tolerance $(TOLERANCE)
+
 # Content-level determinism fingerprint; diff two runs (or two builds)
 # to prove refactors did not change experiment outcomes.
 fingerprint:
 	$(GO) run ./cmd/fingerprint
 
 clean:
-	rm -f repro.test *.prof
+	rm -f repro.test *.test *.prof *.out BENCH_local.json

@@ -61,6 +61,14 @@ func BenchmarkE5BroadcastEdge(b *testing.B) {
 	benchmarks.E5().Bench(b)
 }
 
+// E5-steady: K repeated demands through one reusable Scheduler handle vs
+// K fresh Broadcasts (PR 4's steady-state serving path).
+func BenchmarkE5SteadyBroadcastEdge(b *testing.B) {
+	for _, c := range benchmarks.E5Steady() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
 // --- E6: Corollary 1.6 — oblivious routing congestion ---------------------
 
 func BenchmarkE6ObliviousCongestion(b *testing.B) {

@@ -4,6 +4,12 @@
 // trajectory. An optional baseline file adds per-benchmark speedups:
 //
 //	go run ./cmd/bench -label pr1 -baseline BENCH_seed.json
+//
+// With -check the command writes nothing and instead gates: every
+// benchmark present in the baseline must be no more than -tolerance
+// (fractional, default 0.20) slower than its baseline ns/op, or the
+// process exits nonzero — the pre-merge `make bench-check` regression
+// gate.
 package main
 
 import (
@@ -46,6 +52,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "optional prior BENCH_*.json to embed and compute speedups against")
 	filter := flag.String("filter", "", "optional regexp restricting which benchmarks run")
 	outDir := flag.String("out", ".", "directory for the output file")
+	check := flag.Bool("check", false, "regression-gate mode: compare against -baseline, write nothing, exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown per benchmark before -check fails (0.20 = 20%)")
 	flag.Parse()
 
 	var re *regexp.Regexp
@@ -54,6 +62,21 @@ func main() {
 		if re, err = regexp.Compile(*filter); err != nil {
 			log.Fatalf("bad -filter: %v", err)
 		}
+	}
+	if *check && *baselinePath == "" {
+		log.Fatal("-check requires -baseline BENCH_*.json")
+	}
+	var base *Report
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			log.Fatalf("read baseline: %v", err)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			log.Fatalf("parse baseline: %v", err)
+		}
+		base.Baseline = nil // never nest more than one level
 	}
 
 	rep := Report{
@@ -80,22 +103,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op  (n=%d)\n", entry.NsPerOp, res.N)
 	}
 
-	if *baselinePath != "" {
-		raw, err := os.ReadFile(*baselinePath)
-		if err != nil {
-			log.Fatalf("read baseline: %v", err)
-		}
-		var base Report
-		if err := json.Unmarshal(raw, &base); err != nil {
-			log.Fatalf("parse baseline: %v", err)
-		}
-		base.Baseline = nil // never nest more than one level
-		rep.Baseline = &base
-		rep.Speedup = map[string]float64{}
-		byName := map[string]Entry{}
+	var byName map[string]Entry
+	if base != nil {
+		byName = make(map[string]Entry, len(base.Results))
 		for _, e := range base.Results {
 			byName[e.Bench] = e
 		}
+	}
+
+	if *check {
+		failed := 0
+		ran := make(map[string]bool, len(rep.Results))
+		fmt.Printf("%-45s %14s %14s %8s  %s\n", "bench", "baseline ns", "current ns", "ratio", "status")
+		for _, e := range rep.Results {
+			ran[e.Bench] = true
+			b, ok := byName[e.Bench]
+			if !ok || b.NsPerOp <= 0 {
+				fmt.Printf("%-45s %14s %14.0f %8s  no baseline, skipped\n", e.Bench, "-", e.NsPerOp, "-")
+				continue
+			}
+			ratio := e.NsPerOp / b.NsPerOp
+			status := "ok"
+			if ratio > 1+*tolerance {
+				status = "REGRESSED"
+				failed++
+			}
+			fmt.Printf("%-45s %14.0f %14.0f %8.2f  %s\n", e.Bench, b.NsPerOp, e.NsPerOp, ratio, status)
+		}
+		// Every baseline benchmark must still exist (modulo -filter): a
+		// silently dropped or renamed case would otherwise un-gate itself.
+		for _, b := range base.Results {
+			if ran[b.Bench] || (re != nil && !re.MatchString(b.Bench)) {
+				continue
+			}
+			fmt.Printf("%-45s %14.0f %14s %8s  MISSING from current run\n", b.Bench, b.NsPerOp, "-", "-")
+			failed++
+		}
+		if failed > 0 {
+			fmt.Printf("\n%d benchmark(s) regressed beyond %.0f%% of (or went missing from) %s\n", failed, *tolerance*100, *baselinePath)
+			os.Exit(1)
+		}
+		fmt.Printf("\nall benchmarks within %.0f%% of %s\n", *tolerance*100, *baselinePath)
+		return
+	}
+
+	if base != nil {
+		rep.Baseline = base
+		rep.Speedup = map[string]float64{}
 		for _, e := range rep.Results {
 			if b, ok := byName[e.Bench]; ok && e.NsPerOp > 0 {
 				rep.Speedup[e.Bench] = b.NsPerOp / e.NsPerOp

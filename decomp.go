@@ -70,6 +70,15 @@ type DistSpanningResult = stpdist.Result
 // dissemination run.
 type BroadcastResult = cast.Result
 
+// Demand is a broadcast workload: message i originates at Sources[i].
+type Demand = cast.Demand
+
+// Scheduler is a reusable broadcast handle bound to one
+// (graph, packing, model) triple: construction builds per-tree
+// adjacency, FIFOs, and congestion tables once; Run then serves an
+// arbitrary sequence of demands with zero steady-state allocations.
+type Scheduler = cast.Scheduler
+
 // Options configures the packing algorithms; the zero value uses the
 // defaults the experiments were calibrated with. Use the With* helpers.
 type Options struct {
@@ -244,6 +253,22 @@ func IndependentSpanningTrees(g *Graph, disjoint []*Tree, root int) ([]*Tree, er
 }
 
 // --- Information dissemination ------------------------------------------
+
+// NewBroadcastScheduler builds a reusable V-CONGEST broadcast handle
+// over a dominating-tree packing (Corollary 1.4 served in steady state):
+// s.Run(decomp.Demand{Sources: srcs}, seed) is equivalent to
+// Broadcast(g, p, srcs, seed) without the per-call setup.
+func NewBroadcastScheduler(g *Graph, p *DominatingTreePacking) (*Scheduler, error) {
+	return cast.NewScheduler(g, domToWeighted(p), sim.VCongest)
+}
+
+// NewEdgeBroadcastScheduler builds a reusable E-CONGEST broadcast handle
+// over a spanning-tree packing (Corollary 1.5 served in steady state):
+// s.Run(decomp.Demand{Sources: srcs}, seed) is equivalent to
+// BroadcastEdges(g, p, srcs, seed) without the per-call setup.
+func NewEdgeBroadcastScheduler(g *Graph, p *SpanningTreePacking) (*Scheduler, error) {
+	return cast.NewScheduler(g, spanToWeighted(p), sim.ECongest)
+}
 
 // Broadcast routes each message along a random tree of the dominating-
 // tree packing in the V-CONGEST model (Corollary 1.4).

@@ -209,6 +209,76 @@ func E5() Case {
 	}
 }
 
+// E5Steady measures steady-state demand serving over the E5 workload:
+// K repeated demands served by one reusable Scheduler handle (handle
+// construction outside the timed region, only the K Runs inside) versus
+// K fresh Broadcast calls that each rebuild per-tree adjacency, FIFOs,
+// and bitmasks. Both cases run the identical (demand, seed) sequence, so
+// ns/op divides by the same K demands.
+func E5Steady() []Case {
+	const K = 16
+	g := graph.Complete(16)
+	setup := func(b *testing.B) (*decomp.SpanningTreePacking, []decomp.Demand) {
+		p, err := decomp.PackSpanningTrees(g, decomp.WithSeed(1), decomp.WithKnownConnectivity(15))
+		if err != nil {
+			b.Fatal(err)
+		}
+		demands := make([]decomp.Demand, K)
+		for k := range demands {
+			demands[k] = decomp.Demand{Sources: decomp.UniformSources(g.N(), 4*g.N(), uint64(10+k))}
+		}
+		return p, demands
+	}
+	return []Case{
+		{
+			ID:   "E5SteadyBroadcastEdge",
+			Name: "reused",
+			Bench: func(b *testing.B) {
+				p, demands := setup(b)
+				s, err := decomp.NewEdgeBroadcastScheduler(g, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var throughput float64
+				for i := 0; i < b.N; i++ {
+					for k, d := range demands {
+						res, err := s.Run(d, uint64(k))
+						if err != nil {
+							b.Fatal(err)
+						}
+						throughput = res.Throughput
+					}
+				}
+				b.ReportMetric(K, "demands/op")
+				b.ReportMetric(throughput, "msgs/round")
+			},
+		},
+		{
+			ID:   "E5SteadyBroadcastEdge",
+			Name: "fresh",
+			Bench: func(b *testing.B) {
+				p, demands := setup(b)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var throughput float64
+				for i := 0; i < b.N; i++ {
+					for k, d := range demands {
+						res, err := decomp.BroadcastEdges(g, p, d.Sources, uint64(k))
+						if err != nil {
+							b.Fatal(err)
+						}
+						throughput = res.Throughput
+					}
+				}
+				b.ReportMetric(K, "demands/op")
+				b.ReportMetric(throughput, "msgs/round")
+			},
+		},
+	}
+}
+
 // Cases returns every E1–E5 workload in experiment order.
 func Cases() []Case {
 	var all []Case
@@ -216,5 +286,6 @@ func Cases() []Case {
 	all = append(all, E2()...)
 	all = append(all, E3Cent()...)
 	all = append(all, E3Dist(), E4(), E5())
+	all = append(all, E5Steady()...)
 	return all
 }

@@ -10,14 +10,18 @@
 // message per round. Scheduling decisions are node-local (FIFO queues);
 // the only global setup is a one-time announcement of tree memberships,
 // charged as setup rounds.
+//
+// The Scheduler handle (scheduler.go) is the primary entry point for
+// steady-state serving: construct once per (graph, trees, model),
+// then Run any sequence of demands with zero per-run setup allocations.
+// Broadcast and SingleTreeBaseline are thin construct-and-run wrappers
+// for one-shot use.
 package cast
 
 import (
 	"fmt"
-	"math/bits"
 	"math/rand/v2"
 
-	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -74,7 +78,8 @@ func UniformDemand(n, nMsgs int, rng *rand.Rand) Demand {
 
 // assignTrees routes each message to a tree with probability
 // proportional to tree weight (the paper's "broadcast each message along
-// a random tree").
+// a random tree"). Scheduler.assignDemand draws the identical stream
+// over reused buffers; this standalone form documents the distribution.
 func assignTrees(trees []WeightedTree, nMsgs int, rng *rand.Rand) []int {
 	// cum[i] = total weight of trees[0..i]; drawing r in [0, total] and
 	// taking the first i with r <= cum[i] is the original accumulation
@@ -102,7 +107,9 @@ func assignTrees(trees []WeightedTree, nMsgs int, rng *rand.Rand) []int {
 
 // Broadcast disseminates the demand's messages to every node of g by
 // routing each along a randomly chosen tree of the decomposition, and
-// returns the realized rounds, throughput, and congestion.
+// returns the realized rounds, throughput, and congestion. It is the
+// one-shot form of the Scheduler handle: construct, run once, discard —
+// callers serving repeated demands should hold a Scheduler instead.
 //
 // In sim.VCongest mode the trees must be dominating trees; in
 // sim.ECongest mode they must be spanning trees.
@@ -113,24 +120,11 @@ func Broadcast(g *graph.Graph, trees []WeightedTree, demand Demand, model sim.Mo
 	if len(demand.Sources) == 0 {
 		return Result{}, fmt.Errorf("cast: empty demand")
 	}
-	for i, t := range trees {
-		if model == sim.ECongest && !t.Tree.IsSpanning(g) {
-			return Result{}, fmt.Errorf("cast: tree %d not spanning (required in E-CONGEST)", i)
-		}
-		if model == sim.VCongest && !t.Tree.IsDominatingIn(g) {
-			return Result{}, fmt.Errorf("cast: tree %d not dominating (required in V-CONGEST)", i)
-		}
+	s, err := NewScheduler(g, trees, model)
+	if err != nil {
+		return Result{}, err
 	}
-	rng := ds.NewRand(seed)
-	assign := assignTrees(trees, len(demand.Sources), rng)
-	switch model {
-	case sim.VCongest:
-		return runVertexScheduler(g, trees, demand, assign)
-	case sim.ECongest:
-		return runEdgeScheduler(g, trees, demand, assign)
-	default:
-		return Result{}, fmt.Errorf("cast: unknown model %v", model)
-	}
+	return s.Run(demand, seed)
 }
 
 // SingleTreeBaseline broadcasts the demand over one pipelined BFS tree —
@@ -138,375 +132,6 @@ func Broadcast(g *graph.Graph, trees []WeightedTree, demand Demand, model sim.Mo
 func SingleTreeBaseline(g *graph.Graph, demand Demand, model sim.Model, seed uint64) (Result, error) {
 	tree := graph.TreeFromBFS(g, 0)
 	return Broadcast(g, []WeightedTree{{Tree: tree, Weight: 1}}, demand, model, seed)
-}
-
-// runVertexScheduler floods each message within its dominating tree's
-// member set; non-members overhear their dominating neighbors. One
-// transmission per node per round.
-//
-// Delivery state is kept message-major as node bitmasks so one
-// transmission updates 64 neighbors per word operation: a send (v, m)
-// ORs v's precomputed neighbor mask into message m's has-row, counts
-// fresh deliveries by popcount, and derives the forwarding set as
-// neighbors ∧ members ∧ ¬queued — identical, transmission for
-// transmission, to the scalar per-neighbor loop it replaces.
-func runVertexScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assign []int) (Result, error) {
-	n := g.N()
-	nMsgs := len(demand.Sources)
-	res := Result{TreeLoad: maxCount(assign, len(trees))}
-
-	member := make([]*ds.Bitset, len(trees)) // member[t].Has(v)
-	for ti, t := range trees {
-		member[ti] = ds.NewBitset(n)
-		for _, v := range t.Tree.Vertices() {
-			member[ti].Set(int(v))
-		}
-	}
-
-	// nbrMask[v*stride : (v+1)*stride] is v's adjacency as a bitmask.
-	stride := (n + 63) / 64
-	nbrMask := make([]uint64, n*stride)
-	for v := 0; v < n; v++ {
-		row := nbrMask[v*stride : (v+1)*stride]
-		for _, w := range g.Neighbors(v) {
-			row[w>>6] |= 1 << (uint(w) & 63)
-		}
-	}
-
-	// hasM/queuedM[m*stride : (m+1)*stride] = nodes holding / having
-	// queued message m.
-	hasM := make([]uint64, nMsgs*stride)
-	queuedM := make([]uint64, nMsgs*stride)
-	queues := make([][]int32, n)
-	vertexCong := make([]int, n)
-
-	// Injection: each source holds its message and transmits it once;
-	// member neighbors of the assigned tree pick it up and flood it
-	// within the member set (Appendix A's "give the message to a random
-	// tree": domination guarantees a member within one hop). Tree
-	// memberships are announced once, charged as a setup round.
-	res.SetupRounds = 1
-	for m, s := range demand.Sources {
-		bit := uint64(1) << (uint(s) & 63)
-		hasM[m*stride+s>>6] |= bit
-		if queuedM[m*stride+s>>6]&bit == 0 {
-			queuedM[m*stride+s>>6] |= bit
-			queues[s] = append(queues[s], int32(m))
-		}
-	}
-	// Each message occupies exactly its own (source, message) cell here.
-	remaining := n*nMsgs - nMsgs
-
-	type tx struct {
-		v int
-		m int32
-	}
-	sends := make([]tx, 0, n)
-	maxRounds := 4 * (nMsgs + n) * (len(trees) + 2)
-	for round := 0; remaining > 0; round++ {
-		if round >= maxRounds {
-			return res, fmt.Errorf("cast: vertex scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
-		}
-		res.Rounds++
-		sends = sends[:0]
-		for v := 0; v < n; v++ {
-			if len(queues[v]) == 0 {
-				continue
-			}
-			m := queues[v][0]
-			queues[v] = queues[v][1:]
-			sends = append(sends, tx{v, m})
-		}
-		for _, s := range sends {
-			vertexCong[s.v]++
-			m := int(s.m)
-			hrow := hasM[m*stride : (m+1)*stride]
-			qrow := queuedM[m*stride : (m+1)*stride]
-			nrow := nbrMask[s.v*stride : (s.v+1)*stride]
-			mwords := member[assign[m]].Words()
-			for j, nb := range nrow {
-				if nb == 0 {
-					continue
-				}
-				if fresh := nb &^ hrow[j]; fresh != 0 {
-					hrow[j] |= fresh
-					remaining -= bits.OnesCount64(fresh)
-				}
-				// Members of the message's tree forward it (once each),
-				// queued in ascending node order like the scalar loop.
-				for enq := nb & mwords[j] &^ qrow[j]; enq != 0; enq &= enq - 1 {
-					w := j<<6 + bits.TrailingZeros64(enq)
-					queues[w] = append(queues[w], s.m)
-				}
-				qrow[j] |= nb & mwords[j]
-			}
-		}
-	}
-	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
-	res.MaxVertexCongestion = maxOf(vertexCong)
-	// Every transmission by a node crosses each of its incident edges
-	// exactly once, so an edge's load is the sum of its endpoints'
-	// transmission counts — no per-delivery counter needed.
-	maxEdge := 0
-	for _, e := range g.Edges() {
-		if c := vertexCong[e.U] + vertexCong[e.V]; c > maxEdge {
-			maxEdge = c
-		}
-	}
-	res.MaxEdgeCongestion = maxEdge
-	return res, nil
-}
-
-// runEdgeScheduler pipelines each message along its spanning tree's
-// edges; one message per directed edge per round.
-//
-// The round loop is bitmask-parallel in the arc dimension, mirroring the
-// vertex scheduler's treatment: a 64-arcs-per-word activity mask records
-// which directed edges have queued messages, so a round visits only live
-// arcs (word-skip + trailing-zeros iteration) instead of scanning all 2m
-// FIFOs. Congestion meters are not counted per transmission either: a
-// message assigned to tree t crosses every edge of t exactly once and is
-// forwarded by a member v on deg_t(v)-1 arcs (deg_t(v) at its source),
-// so per-edge loads are derived from per-tree edge bitmasks (one
-// popcount-style bit sweep per used tree) and per-vertex loads from the
-// CSR arc offsets — identical, transmission for transmission, to the
-// scalar counters they replace.
-func runEdgeScheduler(g *graph.Graph, trees []WeightedTree, demand Demand, assign []int) (Result, error) {
-	n := g.N()
-	m := g.M()
-	nArcs := 2 * m
-	nMsgs := len(demand.Sources)
-	edges := g.Edges()
-	msgsPerTree := make([]int32, len(trees))
-	for _, t := range assign {
-		msgsPerTree[t]++
-	}
-	res := Result{TreeLoad: int(maxOf32(msgsPerTree))}
-
-	// Per-tree CSR arc lists in shared backing arrays: tree ti's arcs at
-	// vertex v are arcBack[abase[ti]+off[v] : abase[ti]+off[v+1]] with
-	// off = offBack[ti*(n+1):]. An arc is stored as its directed-edge
-	// index dir = 2*eid + side alone — the edge id is dir>>1 and the
-	// receiving endpoint comes from headOf — so arcs are 4 bytes each.
-	// treeEdges[ti] is the tree's edge set as a bitmask over edge ids.
-	// Trees with no assigned messages are never routed through and are
-	// skipped entirely.
-	used := 0
-	for _, c := range msgsPerTree {
-		if c > 0 {
-			used++
-		}
-	}
-	ewords := (m + 63) / 64
-	awords := (nArcs + 63) / 64
-	// One uint64 arena: per-tree edge masks, the live-arc mask and its
-	// per-round snapshot, then the FIFO cursors.
-	u64 := make([]uint64, len(trees)*ewords+2*awords+nArcs)
-	treeEdges := u64[:len(trees)*ewords]
-	activeWords := u64[len(trees)*ewords : len(trees)*ewords+awords]
-	snapWords := u64[len(trees)*ewords+awords : len(trees)*ewords+2*awords]
-	qht := u64[len(trees)*ewords+2*awords:]
-
-	// One int32 arena for everything whose size is known up front.
-	sz0 := len(trees) * (n + 1)     // offBack
-	sz1 := sz0 + 2*used*max(n-1, 0) // arcBack
-	sz2 := sz1 + len(trees)         // abase
-	sz3 := sz2 + n                  // cur
-	sz4 := sz3 + n                  // vertexCong
-	sz5 := sz4 + m                  // edgeCong
-	sz6 := sz5 + nArcs + 1          // qoff
-	sz7 := sz6 + nArcs              // headOf
-	// Each used tree contributes msgs*(n-1) queue slots per direction
-	// pair: total FIFO capacity is known before any load is computed.
-	qcap := 0
-	for _, c := range msgsPerTree {
-		qcap += int(c)
-	}
-	qcap *= 2 * max(n-1, 0)
-	sz8 := sz7 + qcap // qbuf
-	i32a := make([]int32, sz8)
-	offBack := i32a[:sz0]
-	arcBack := i32a[sz0:sz1]
-	abase := i32a[sz1:sz2]
-	cur := i32a[sz2:sz3]
-	tedges := make([]int32, 0, 3*max(n-1, 0)) // (child, parent, eid) triples
-	apos := int32(0)
-	for ti, t := range trees {
-		abase[ti] = apos
-		if msgsPerTree[ti] == 0 {
-			continue
-		}
-		off := offBack[ti*(n+1) : (ti+1)*(n+1)]
-		erow := treeEdges[ti*ewords : (ti+1)*ewords]
-		tedges = tedges[:0]
-		t.Tree.ForEachEdge(func(child, parent int) {
-			eid, ok := g.EdgeID(child, parent)
-			if !ok {
-				return
-			}
-			erow[eid>>6] |= 1 << (uint(eid) & 63)
-			off[child+1]++
-			off[parent+1]++
-			tedges = append(tedges, int32(child), int32(parent), int32(eid))
-		})
-		for v := 0; v < n; v++ {
-			off[v+1] += off[v]
-		}
-		na := off[n]
-		list := arcBack[apos : apos+na]
-		copy(cur, off[:n])
-		for i := 0; i < len(tedges); i += 3 {
-			child, parent, eid := tedges[i], tedges[i+1], tedges[i+2]
-			childDir, parentDir := 2*eid, 2*eid+1
-			if child != edges[eid].U {
-				childDir, parentDir = parentDir, childDir
-			}
-			list[cur[child]] = childDir
-			cur[child]++
-			list[cur[parent]] = parentDir
-			cur[parent]++
-		}
-		apos += na
-	}
-
-	// Congestion, derived up front: every message crosses each edge of
-	// its tree exactly once, and each member v of tree t transmits it
-	// deg_t(v)-1 times (deg_t(v) for the source, which also injects it).
-	// Beyond metering, edgeCong bounds every directed-edge FIFO's total
-	// traffic, which sizes the flat queue buffer below.
-	vertexCong := i32a[sz3:sz4]
-	edgeCong := i32a[sz4:sz5]
-	for ti := range trees {
-		c := msgsPerTree[ti]
-		if c == 0 {
-			continue
-		}
-		off := offBack[ti*(n+1) : (ti+1)*(n+1)]
-		for v := 0; v < n; v++ {
-			vertexCong[v] += c * (off[v+1] - off[v] - 1)
-		}
-		for wi, w := range treeEdges[ti*ewords : (ti+1)*ewords] {
-			for ; w != 0; w &= w - 1 {
-				edgeCong[wi<<6+bits.TrailingZeros64(w)] += c
-			}
-		}
-	}
-	for _, s := range demand.Sources {
-		vertexCong[s]++
-	}
-
-	// Per directed edge FIFO of messages; directed index = 2*eid + side.
-	// Each message traverses an edge in at most one direction, so a
-	// segment of edgeCong[eid] entries per direction always suffices.
-	// qht packs each FIFO's (tail<<32)|head cursor pair into one word;
-	// headOf[dir] is the receiving endpoint, so the send loop never
-	// re-derives endpoints.
-	qoff := i32a[sz5:sz6]
-	for eid, c := range edgeCong {
-		qoff[2*eid+1] = qoff[2*eid] + c
-		qoff[2*eid+2] = qoff[2*eid+1] + c
-	}
-	headOf := i32a[sz6:sz7]
-	qbuf := i32a[sz7:sz8]
-	for eid, e := range edges {
-		headOf[2*eid] = e.V
-		headOf[2*eid+1] = e.U
-	}
-	// Cursors are absolute positions into qbuf, packed (tail<<32)|head
-	// and seeded at the segment base, so the transmission loops never
-	// reload the segment offsets; a FIFO is empty iff head == tail.
-	for dir := range qht {
-		qht[dir] = uint64(qoff[dir]) * (1<<32 + 1)
-	}
-	assign32 := make([]int32, nMsgs)
-	for i, t := range assign {
-		assign32[i] = int32(t)
-	}
-
-	// relay delivers msg at v and forwards it on every tree arc except
-	// the arrival edge. A tree flood visits each vertex exactly once
-	// (arcs of a tree cannot revisit, and the arrival arc is skipped),
-	// so every relay is a fresh delivery and remaining can decrement
-	// unconditionally — no per-(vertex,message) delivered grid needed.
-	remaining := n * nMsgs
-	relay := func(v int, msg int32, fromEdge int32) {
-		remaining--
-		ti := int(assign32[msg])
-		off := offBack[ti*(n+1):]
-		base := abase[ti]
-		for _, dir := range arcBack[base+off[v] : base+off[v+1]] {
-			if dir>>1 == fromEdge {
-				continue
-			}
-			ht := qht[dir]
-			if uint32(ht) == uint32(ht>>32) {
-				activeWords[dir>>6] |= 1 << (uint(dir) & 63)
-			}
-			qbuf[ht>>32] = msg
-			qht[dir] = ht + 1<<32
-		}
-	}
-	for msg, s := range demand.Sources {
-		relay(s, int32(msg), -1)
-	}
-
-	maxRounds := 4 * (nMsgs + n) * (len(trees) + 2)
-	for round := 0; remaining > 0; round++ {
-		if round >= maxRounds {
-			return res, fmt.Errorf("cast: edge scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
-		}
-		res.Rounds++
-		// Every arc live at round start transmits its FIFO head, in
-		// ascending directed-edge order like the scalar scan. Popping
-		// from a snapshot of the live mask makes the immediate relay
-		// equivalent to the scalar two-phase loop: a relay only appends
-		// at queue tails and revives bits outside the snapshot, neither
-		// of which a snapshot pop ever re-reads within the round.
-		copy(snapWords, activeWords)
-		for wi, w := range snapWords {
-			for ; w != 0; w &= w - 1 {
-				dir := wi<<6 + bits.TrailingZeros64(w)
-				ht := qht[dir] + 1
-				qht[dir] = ht
-				msg := qbuf[uint32(ht)-1]
-				if uint32(ht) == uint32(ht>>32) {
-					activeWords[wi] &^= 1 << (uint(dir) & 63)
-				}
-				// relay(headOf[dir], msg, dir>>1), open-coded: the Go
-				// inliner rejects the closure, and this loop carries
-				// every transmission of the run.
-				fromEdge := int32(dir) >> 1
-				v := int(headOf[dir])
-				remaining--
-				ti := int(assign32[msg])
-				off := offBack[ti*(n+1):]
-				base := abase[ti]
-				for _, adir := range arcBack[base+off[v] : base+off[v+1]] {
-					if adir>>1 == fromEdge {
-						continue
-					}
-					aht := qht[adir]
-					if uint32(aht) == uint32(aht>>32) {
-						activeWords[adir>>6] |= 1 << (uint(adir) & 63)
-					}
-					qbuf[aht>>32] = msg
-					qht[adir] = aht + 1<<32
-				}
-			}
-		}
-	}
-	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
-	res.MaxVertexCongestion = int(maxOf32(vertexCong))
-	res.MaxEdgeCongestion = int(maxOf32(edgeCong))
-	return res, nil
-}
-
-func maxCount(assign []int, k int) int {
-	counts := make([]int, k)
-	for _, a := range assign {
-		counts[a]++
-	}
-	return maxOf(counts)
 }
 
 func maxOf32(xs []int32) int32 {

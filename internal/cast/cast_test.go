@@ -10,7 +10,7 @@ import (
 	"repro/internal/stp"
 )
 
-func domTrees(t *testing.T, g *graph.Graph, seed uint64) []WeightedTree {
+func domTrees(t testing.TB, g *graph.Graph, seed uint64) []WeightedTree {
 	t.Helper()
 	p, err := cds.Pack(g, cds.Options{Seed: seed})
 	if err != nil {
@@ -23,7 +23,7 @@ func domTrees(t *testing.T, g *graph.Graph, seed uint64) []WeightedTree {
 	return out
 }
 
-func spanTrees(t *testing.T, g *graph.Graph, seed uint64) []WeightedTree {
+func spanTrees(t testing.TB, g *graph.Graph, seed uint64) []WeightedTree {
 	t.Helper()
 	p, err := stp.Pack(g, stp.Options{Seed: seed})
 	if err != nil {

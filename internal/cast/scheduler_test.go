@@ -1,0 +1,163 @@
+package cast
+
+import (
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// schedulerFixture returns a (graph, trees) pair valid for the model.
+func schedulerFixture(t testing.TB, model sim.Model) (*graph.Graph, []WeightedTree) {
+	t.Helper()
+	if model == sim.VCongest {
+		g := graph.Hypercube(5)
+		return g, domTrees(t, g, 3)
+	}
+	g := graph.Hypercube(4)
+	return g, spanTrees(t, g, 5)
+}
+
+// TestSchedulerReuseMatchesFreshBroadcast is the reuse determinism gate:
+// one handle serving N demands of varying sizes (growing and shrinking,
+// so buffer reuse across size changes is exercised) must produce results
+// identical to N fresh Broadcast calls, in both congestion models.
+func TestSchedulerReuseMatchesFreshBroadcast(t *testing.T) {
+	for _, model := range []sim.Model{sim.VCongest, sim.ECongest} {
+		g, trees := schedulerFixture(t, model)
+		s, err := NewScheduler(g, trees, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.N()
+		demands := []Demand{
+			AllToAll(n),
+			UniformDemand(n, 4*n, ds.NewRand(41)),
+			UniformDemand(n, 3, ds.NewRand(42)),
+			UniformDemand(n, 2*n, ds.NewRand(43)),
+			AllToAll(n),
+		}
+		for i, d := range demands {
+			seed := uint64(100 + i)
+			got, err := s.Run(d, seed)
+			if err != nil {
+				t.Fatalf("model %v demand %d: %v", model, i, err)
+			}
+			want, err := Broadcast(g, trees, d, model, seed)
+			if err != nil {
+				t.Fatalf("model %v demand %d: %v", model, i, err)
+			}
+			if got != want {
+				t.Fatalf("model %v demand %d: reused handle %+v != fresh broadcast %+v", model, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSchedulerRunRepeatable pins that re-serving the same (demand, seed)
+// pair through one handle is exactly reproducible.
+func TestSchedulerRunRepeatable(t *testing.T) {
+	for _, model := range []sim.Model{sim.VCongest, sim.ECongest} {
+		g, trees := schedulerFixture(t, model)
+		s, err := NewScheduler(g, trees, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := AllToAll(g.N())
+		r1, err := s.Run(d, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s.Run(d, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != r2 {
+			t.Fatalf("model %v: same (demand, seed) diverged: %+v vs %+v", model, r1, r2)
+		}
+	}
+}
+
+// TestSchedulerValidation mirrors the Broadcast validation at
+// construction/run time.
+func TestSchedulerValidation(t *testing.T) {
+	g := graph.Complete(4)
+	if _, err := NewScheduler(g, nil, sim.VCongest); err == nil {
+		t.Fatal("no trees accepted")
+	}
+	partial, err := graph.NewTree(4, 0, map[int]int{1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScheduler(g, []WeightedTree{{Tree: partial, Weight: 1}}, sim.ECongest); err == nil {
+		t.Fatal("non-spanning tree accepted in E-CONGEST")
+	}
+	tr := graph.TreeFromBFS(g, 0)
+	s, err := NewScheduler(g, []WeightedTree{{Tree: tr, Weight: 1}}, sim.VCongest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Demand{}, 1); err == nil {
+		t.Fatal("empty demand accepted")
+	}
+}
+
+// TestSchedulerRunZeroSteadyStateAllocs is the steady-state allocation
+// gate: once a handle has served a demand of a given size, re-serving
+// demands of that size must not allocate at all, in either model.
+func TestSchedulerRunZeroSteadyStateAllocs(t *testing.T) {
+	for _, model := range []sim.Model{sim.VCongest, sim.ECongest} {
+		g, trees := schedulerFixture(t, model)
+		s, err := NewScheduler(g, trees, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := AllToAll(g.N())
+		const seeds = 4
+		for i := 0; i < seeds; i++ {
+			if _, err := s.Run(d, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var i int
+		allocs := testing.AllocsPerRun(2*seeds, func() {
+			i++
+			if _, err := s.Run(d, uint64(i%seeds)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("model %v: warm Scheduler.Run made %.1f allocations per run, want 0", model, allocs)
+		}
+	}
+}
+
+// benchmarkSchedulerSteady measures a warm handle serving one demand per
+// iteration; with ReportAllocs it doubles as the steady-state zero-alloc
+// witness in bench output.
+func benchmarkSchedulerSteady(b *testing.B, model sim.Model) {
+	g, trees := schedulerFixture(b, model)
+	s, err := NewScheduler(g, trees, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := AllToAll(g.N())
+	const seeds = 8
+	for i := 0; i < seeds; i++ {
+		if _, err := s.Run(d, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(d, uint64(i%seeds)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerSteadyVertex(b *testing.B) { benchmarkSchedulerSteady(b, sim.VCongest) }
+
+func BenchmarkSchedulerSteadyEdge(b *testing.B) { benchmarkSchedulerSteady(b, sim.ECongest) }

@@ -6,7 +6,16 @@ import "math/rand/v2"
 // seed. All randomized algorithms in this repository draw from streams
 // created here so that every experiment is reproducible from its seed.
 func NewRand(seed uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	pcg := rand.NewPCG(0, 0)
+	Reseed(pcg, seed)
+	return rand.New(pcg)
+}
+
+// Reseed reseeds pcg in place to the state NewRand(seed) starts from, so
+// long-lived consumers (the broadcast Scheduler handle) replay the exact
+// per-seed stream without allocating a new generator.
+func Reseed(pcg *rand.PCG, seed uint64) {
+	pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
 }
 
 // SplitSeed derives the PCG seed pair SplitRand would use for a stream,
