@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test fmt-check race fuzz-smoke fingerprint-check bench-short bench bench-check fingerprint clean
+.PHONY: ci verify vet build test fmt-check race fuzz-smoke serve-smoke fingerprint-check bench-short bench bench-check fingerprint clean
 
-ci: fmt-check verify race fuzz-smoke fingerprint-check bench-short
+ci: fmt-check verify race fuzz-smoke serve-smoke fingerprint-check bench-short
 
 verify: vet build test
 
@@ -28,10 +28,19 @@ fmt-check:
 # Race-enabled runs of the packages with real concurrency (the simulator
 # worker pool), the invariant harness that gates the packers, the
 # spanning-tree packers (stpdist drives the worker pool through the MWU
-# loop's per-iteration MSTs), and cast now that Scheduler handles are
-# long-lived objects serving repeated demands.
+# loop's per-iteration MSTs), cast (long-lived Scheduler handles plus
+# concurrent clones over one shared core), and serve (the concurrent
+# decomposition service: singleflight packing cache, pooled clones,
+# bounded-concurrency demand execution).
 race:
-	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist ./internal/cast
+	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist ./internal/cast ./internal/serve
+
+# Serving smoke: cmd/serve -selftest drives the full loop in-process
+# over a real HTTP listener — register, concurrent decompositions
+# (singleflight asserted), concurrent broadcasts replayed byte-identical,
+# a closed-loop load run, and a stats audit.
+serve-smoke:
+	$(GO) run ./cmd/serve -selftest
 
 # 10-second fuzz smoke of the CSR builder: random edge streams with
 # duplicates and self-loops must finalize to sorted, deduped, symmetric
@@ -62,8 +71,8 @@ bench:
 # Pre-merge regression gate: rerun the full E1-E5 measurement and fail
 # if any benchmark is more than TOLERANCE (fractional) slower than the
 # committed baseline:
-#   make bench-check [CHECK_BASELINE=BENCH_pr4.json] [TOLERANCE=0.20]
-CHECK_BASELINE ?= BENCH_pr4.json
+#   make bench-check [CHECK_BASELINE=BENCH_pr5.json] [TOLERANCE=0.20]
+CHECK_BASELINE ?= BENCH_pr5.json
 TOLERANCE ?= 0.20
 bench-check:
 	$(GO) run ./cmd/bench -check -baseline $(CHECK_BASELINE) -tolerance $(TOLERANCE)

@@ -69,6 +69,14 @@ func BenchmarkE5SteadyBroadcastEdge(b *testing.B) {
 	}
 }
 
+// E6-parallel: K closed-loop workers × M demands through the serving
+// layer (singleflight packing cache + pooled Scheduler clones).
+func BenchmarkE6ParallelThroughput(b *testing.B) {
+	for _, c := range benchmarks.E6Parallel() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
 // --- E6: Corollary 1.6 — oblivious routing congestion ---------------------
 
 func BenchmarkE6ObliviousCongestion(b *testing.B) {

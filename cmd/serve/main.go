@@ -1,0 +1,217 @@
+// Command serve runs the concurrent decomposition-and-broadcast service
+// as an HTTP server (the paper's headline application — Ω(k/log n)
+// fractionally disjoint trees spreading broadcast traffic — turned into
+// a serving layer):
+//
+//	go run ./cmd/serve -addr :8080
+//
+//	curl -s localhost:8080/v1/graphs -d '{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0],[0,2],[1,3]]}'
+//	curl -s localhost:8080/v1/graphs/<id>/decomposition -d '{"kind":"spanning"}'
+//	curl -s localhost:8080/v1/graphs/<id>/broadcast -d '{"kind":"spanning","sources":[0,2],"seed":7}'
+//	curl -s localhost:8080/v1/stats
+//
+// With -selftest the command instead drives the full loop in-process
+// against a real HTTP listener — register, concurrent decomposition
+// requests (asserting the singleflight packed exactly once), concurrent
+// broadcasts checked byte-identical against a serial replay, a
+// closed-loop load run, and a stats audit — exiting nonzero on any
+// failure. `make ci` runs it as the serving smoke test.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+
+	"repro/internal/cast"
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 8, "bound on simultaneously executing demands")
+	packSeed := flag.Uint64("pack-seed", 1, "seed for packing computations")
+	selftest := flag.Bool("selftest", false, "drive the full serving loop in-process and exit")
+	flag.Parse()
+
+	svc := serve.New(serve.Config{MaxConcurrent: *maxConcurrent, PackSeed: *packSeed})
+	if *selftest {
+		if err := runSelftest(svc); err != nil {
+			fmt.Fprintf(os.Stderr, "selftest: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("selftest: OK")
+		return
+	}
+	log.Printf("serving on %s (max-concurrent=%d)", *addr, *maxConcurrent)
+	log.Fatal(http.ListenAndServe(*addr, serve.NewHandler(svc)))
+}
+
+// runSelftest exercises the full serving loop over a real HTTP listener.
+func runSelftest(svc *serve.Service) error {
+	srv := httptest.NewServer(serve.NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	// Register a 6-connected expander over HTTP.
+	g := graph.RandomHamCycles(64, 3, ds.NewRand(1))
+	var edges [][2]int
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{int(e.U), int(e.V)})
+	}
+	var info serve.GraphInfo
+	if err := post(client, srv.URL+"/v1/graphs", serve.RegisterRequest{N: g.N(), Edges: edges}, &info); err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	if info.N != g.N() || info.M != g.M() {
+		return fmt.Errorf("register echoed n=%d m=%d, want n=%d m=%d", info.N, info.M, g.N(), g.M())
+	}
+	fmt.Printf("registered %s (n=%d m=%d)\n", info.ID, info.N, info.M)
+
+	// Concurrent decomposition requests: the singleflight cache must
+	// pack exactly once per kind.
+	const decompCallers = 8
+	for _, kind := range []serve.Kind{serve.Dominating, serve.Spanning} {
+		var wg sync.WaitGroup
+		errs := make([]error, decompCallers)
+		infos := make([]serve.DecompInfo, decompCallers)
+		for i := 0; i < decompCallers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = post(client, srv.URL+"/v1/graphs/"+info.ID+"/decomposition",
+					serve.DecomposeRequest{Kind: kind}, &infos[i])
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("decompose %s caller %d: %w", kind, i, err)
+			}
+			if infos[i].Trees != infos[0].Trees || infos[i].Size != infos[0].Size {
+				return fmt.Errorf("decompose %s: caller %d saw %+v, caller 0 saw %+v", kind, i, infos[i], infos[0])
+			}
+		}
+		fmt.Printf("decomposition %-10s trees=%d size=%.3f (%d concurrent callers)\n",
+			kind, infos[0].Trees, infos[0].Size, decompCallers)
+	}
+	if st := stats(client, srv.URL); st.PackComputes != 2 {
+		return fmt.Errorf("singleflight violated: %d packings computed for 2 kinds", st.PackComputes)
+	}
+
+	// Concurrent broadcasts over both kinds, checked byte-identical
+	// against a second pass of the same (demand, seed) pairs (the
+	// schedulers are deterministic, so replaying through the service
+	// must reproduce every result exactly).
+	const workers, demandsPer = 4, 6
+	type key struct {
+		kind serve.Kind
+		w, d int
+	}
+	results := make(map[key]cast.Result)
+	var mu sync.Mutex
+	for pass := 0; pass < 2; pass++ {
+		var wg sync.WaitGroup
+		errs := make([]error, workers*2)
+		for ki, kind := range []serve.Kind{serve.Dominating, serve.Spanning} {
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(ki int, kind serve.Kind, w int) {
+					defer wg.Done()
+					rng := ds.NewRand(uint64(100*ki + w))
+					for d := 0; d < demandsPer; d++ {
+						dem := cast.UniformDemand(g.N(), g.N()/2+d, rng)
+						var resp serve.BroadcastResponse
+						if err := post(client, srv.URL+"/v1/graphs/"+info.ID+"/broadcast",
+							serve.BroadcastRequest{Kind: kind, Sources: dem.Sources, Seed: uint64(w*demandsPer + d)}, &resp); err != nil {
+							errs[ki*workers+w] = err
+							return
+						}
+						mu.Lock()
+						k := key{kind, w, d}
+						if prev, ok := results[k]; ok && prev != resp.Result {
+							errs[ki*workers+w] = fmt.Errorf("%s (%d,%d): replay diverged: %+v vs %+v", kind, w, d, prev, resp.Result)
+							mu.Unlock()
+							return
+						}
+						results[k] = resp.Result
+						mu.Unlock()
+					}
+				}(ki, kind, w)
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("broadcast: %d concurrent demands per pass, replay byte-identical\n", 2*workers*demandsPer)
+
+	// Closed-loop load run through the same (already warm) cache.
+	rep, err := serve.GenerateLoad(svc, serve.LoadConfig{
+		GraphID: info.ID, Kind: serve.Spanning, Workers: 4, Demands: 8, Seed: 5,
+	})
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	fmt.Printf("load: %d demands, %d workers, %.0f demands/s, %.2f msgs/round\n",
+		rep.Demands, rep.Workers, rep.DemandsPerSec, rep.MsgsPerRound)
+
+	// Final stats audit.
+	st := stats(client, srv.URL)
+	wantReqs := uint64(2*2*workers*demandsPer + rep.Demands)
+	if st.Requests != wantReqs {
+		return fmt.Errorf("stats count %d requests, want %d", st.Requests, wantReqs)
+	}
+	if st.PackComputes != 2 {
+		return fmt.Errorf("stats count %d packings, want 2", st.PackComputes)
+	}
+	if st.Graphs != 1 || len(st.PerGraph) != 1 || st.PerGraph[0].Requests != wantReqs {
+		return fmt.Errorf("per-graph stats wrong: %+v", st)
+	}
+	fmt.Printf("stats: %d requests, %d rounds, %d/%d pack computes/requests, max congestion v=%d e=%d\n",
+		st.Requests, st.Rounds, st.PackComputes, st.PackRequests,
+		st.MaxVertexCongestion, st.MaxEdgeCongestion)
+	return nil
+}
+
+func post(client *http.Client, url string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(buf.Bytes()))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func stats(client *http.Client, base string) serve.Stats {
+	var st serve.Stats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}

@@ -21,12 +21,16 @@
 package decomp
 
 import (
+	"fmt"
+	"net/http"
+
 	"repro/internal/cast"
 	"repro/internal/cds"
 	"repro/internal/cdsdist"
 	"repro/internal/ds"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stp"
 	"repro/internal/stpdist"
@@ -77,6 +81,9 @@ type Demand = cast.Demand
 // (graph, packing, model) triple: construction builds per-tree
 // adjacency, FIFOs, and congestion tables once; Run then serves an
 // arbitrary sequence of demands with zero steady-state allocations.
+// Scheduler.Clone returns an independent handle over the same immutable
+// core, so many goroutines can Run demands on one decomposition in
+// parallel with results byte-identical to serial runs.
 type Scheduler = cast.Scheduler
 
 // Options configures the packing algorithms; the zero value uses the
@@ -84,6 +91,16 @@ type Scheduler = cast.Scheduler
 type Options struct {
 	cds cds.Options
 	stp stp.Options
+	err error
+}
+
+// fail records the first invalid option; entry points surface it before
+// running anything, so a bad parameter errors at the API boundary
+// instead of silently misbehaving deep in a packer.
+func (o *Options) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
 }
 
 // Option customizes Options.
@@ -99,27 +116,48 @@ func WithSeed(seed uint64) Option {
 
 // WithKnownConnectivity skips the try-and-error loop (dominating trees)
 // or the min-cut estimation (spanning trees) by asserting the graph's
-// connectivity.
+// connectivity. The asserted connectivity must be at least 1.
 func WithKnownConnectivity(k int) Option {
-	return func(o *Options) { o.stp.KnownLambda = k }
+	return func(o *Options) {
+		if k < 1 {
+			o.fail(fmt.Errorf("decomp: WithKnownConnectivity(%d): connectivity must be >= 1", k))
+			return
+		}
+		o.stp.KnownLambda = k
+	}
 }
 
-// WithEpsilon sets the spanning-tree packing's ε (default 0.1).
+// WithEpsilon sets the spanning-tree packing's ε (default 0.1). ε must
+// lie in (0, 1): the packer would otherwise silently substitute its
+// default.
 func WithEpsilon(eps float64) Option {
-	return func(o *Options) { o.stp.Epsilon = eps }
+	return func(o *Options) {
+		if eps <= 0 || eps >= 1 {
+			o.fail(fmt.Errorf("decomp: WithEpsilon(%g): epsilon must be in (0, 1)", eps))
+			return
+		}
+		o.stp.Epsilon = eps
+	}
 }
 
 // WithClassFactor overrides t = ClassFactor·k-hat in the CDS packing.
+// The factor must be positive.
 func WithClassFactor(f float64) Option {
-	return func(o *Options) { o.cds.ClassFactor = f }
+	return func(o *Options) {
+		if f <= 0 {
+			o.fail(fmt.Errorf("decomp: WithClassFactor(%g): factor must be > 0", f))
+			return
+		}
+		o.cds.ClassFactor = f
+	}
 }
 
-func buildOptions(opts []Option) Options {
+func buildOptions(opts []Option) (Options, error) {
 	var o Options
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return o
+	return o, o.err
 }
 
 // --- Graph construction -------------------------------------------------
@@ -170,7 +208,10 @@ func EdgeConnectivity(g *Graph) int { return flow.EdgeConnectivity(g) }
 // the dominating-tree packing (Corollary 1.7): the estimate never
 // exceeds κ and is Ω(κ/log n) w.h.p.
 func ApproxVertexConnectivity(g *Graph, opts ...Option) (float64, *DominatingTreePacking, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return 0, nil, err
+	}
 	return cds.ApproxVertexConnectivity(g, o.cds)
 }
 
@@ -178,7 +219,10 @@ func ApproxVertexConnectivity(g *Graph, opts ...Option) (float64, *DominatingTre
 // Corollary 1.7: the same O(log n)-approximation computed by the
 // V-CONGEST protocol in O~(D+√n) rounds, returned with its meter.
 func ApproxVertexConnectivityDistributed(g *Graph, opts ...Option) (float64, *DistDominatingResult, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return 0, nil, err
+	}
 	res, err := cdsdist.Pack(g, o.cds)
 	if err != nil {
 		return 0, nil, err
@@ -197,7 +241,10 @@ func SparseCertificate(g *Graph, k int) *Graph { return graph.SparseCertificate(
 // dominating-tree packing (Theorem 1.2), including the try-and-error
 // connectivity search of Remark 3.1.
 func PackDominatingTrees(g *Graph, opts ...Option) (*DominatingTreePacking, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return cds.Pack(g, o.cds)
 }
 
@@ -205,35 +252,50 @@ func PackDominatingTrees(g *Graph, opts ...Option) (*DominatingTreePacking, erro
 // Theorem 1.1 on the simulator and returns the packing with its round
 // meter.
 func PackDominatingTreesDistributed(g *Graph, opts ...Option) (*DistDominatingResult, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return cdsdist.Pack(g, o.cds)
 }
 
 // PackDominatingTreesDistributedWithGuess runs the Theorem 1.1 protocol
 // with a known 2-approximation of κ, skipping the try-and-error loop.
 func PackDominatingTreesDistributedWithGuess(g *Graph, kGuess int, opts ...Option) (*DistDominatingResult, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return cdsdist.PackWithGuess(g, kGuess, o.cds)
 }
 
 // PackSpanningTrees runs the centralized fractional spanning-tree
 // packing (Section 5): size ⌈(λ-1)/2⌉(1-O(ε)).
 func PackSpanningTrees(g *Graph, opts ...Option) (*SpanningTreePacking, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return stp.Pack(g, o.stp)
 }
 
 // PackSpanningTreesDistributed runs the E-CONGEST protocol of
 // Theorem 1.3 on the simulator.
 func PackSpanningTreesDistributed(g *Graph, opts ...Option) (*DistSpanningResult, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return stpdist.Pack(g, o.stp)
 }
 
 // IntegralSpanningTrees returns edge-disjoint spanning trees of count
 // Ω(λ/log n) (the integral variant noted under Theorem 1.3).
 func IntegralSpanningTrees(g *Graph, opts ...Option) ([]*Tree, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return stp.IntegralPack(g, o.stp)
 }
 
@@ -314,3 +376,60 @@ func spanToWeighted(p *SpanningTreePacking) []cast.WeightedTree {
 	}
 	return out
 }
+
+// --- Serving ------------------------------------------------------------
+
+// Service is the concurrent decomposition-and-broadcast service: a graph
+// registry keyed by content hash, a per-(graph, kind) packing cache with
+// singleflight semantics (N concurrent requests trigger exactly one
+// packing), a Scheduler clone pool per cached decomposition, and
+// bounded-concurrency demand execution with per-graph and global stats.
+type Service = serve.Service
+
+// ServiceConfig tunes a Service; the zero value uses calibrated
+// defaults.
+type ServiceConfig = serve.Config
+
+// ServiceStats is a snapshot of the service counters (requests, cache
+// hits, rounds, congestion maxima), globally and per graph.
+type ServiceStats = serve.Stats
+
+// ServiceGraphStats is the per-graph slice of ServiceStats.
+type ServiceGraphStats = serve.GraphStats
+
+// DecompositionKind selects which decomposition a service request is
+// served over.
+type DecompositionKind = serve.Kind
+
+// The two decomposition kinds a Service caches and serves.
+const (
+	// KindDominating: Theorem 1.2 dominating trees, V-CONGEST broadcast.
+	KindDominating = serve.Dominating
+	// KindSpanning: Theorem 1.3 spanning trees, E-CONGEST broadcast.
+	KindSpanning = serve.Spanning
+)
+
+// DecompositionInfo describes a cached (or just-computed) service
+// decomposition.
+type DecompositionInfo = serve.DecompInfo
+
+// LoadConfig describes one closed-loop load run (K workers × M demands).
+type LoadConfig = serve.LoadConfig
+
+// LoadReport aggregates a load run's throughput.
+type LoadReport = serve.LoadReport
+
+// NewService builds an empty decomposition service.
+func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
+
+// NewServiceHandler mounts the service's JSON HTTP API (the interface
+// cmd/serve exposes: register graph, request decomposition, submit
+// broadcast demand, stats).
+func NewServiceHandler(s *Service) http.Handler { return serve.NewHandler(s) }
+
+// GenerateLoad drives the closed-loop load generator against a service.
+func GenerateLoad(s *Service, cfg LoadConfig) (LoadReport, error) { return serve.GenerateLoad(s, cfg) }
+
+// GraphID returns the content-hash registry key a Service would assign
+// the graph.
+func GraphID(g *Graph) string { return serve.GraphID(g) }

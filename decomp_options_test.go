@@ -1,0 +1,89 @@
+package decomp_test
+
+import (
+	"strings"
+	"testing"
+
+	decomp "repro"
+)
+
+// TestOptionValidation pins that invalid option values error at the
+// decomp API boundary — from every entry point that accepts options —
+// instead of producing silent misbehavior deep in the packers.
+func TestOptionValidation(t *testing.T) {
+	g := decomp.Hypercube(3)
+	entryPoints := []struct {
+		name string
+		call func(opts ...decomp.Option) error
+	}{
+		{"PackDominatingTrees", func(opts ...decomp.Option) error {
+			_, err := decomp.PackDominatingTrees(g, opts...)
+			return err
+		}},
+		{"PackDominatingTreesDistributed", func(opts ...decomp.Option) error {
+			_, err := decomp.PackDominatingTreesDistributed(g, opts...)
+			return err
+		}},
+		{"PackDominatingTreesDistributedWithGuess", func(opts ...decomp.Option) error {
+			_, err := decomp.PackDominatingTreesDistributedWithGuess(g, 3, opts...)
+			return err
+		}},
+		{"PackSpanningTrees", func(opts ...decomp.Option) error {
+			_, err := decomp.PackSpanningTrees(g, opts...)
+			return err
+		}},
+		{"PackSpanningTreesDistributed", func(opts ...decomp.Option) error {
+			_, err := decomp.PackSpanningTreesDistributed(g, opts...)
+			return err
+		}},
+		{"IntegralSpanningTrees", func(opts ...decomp.Option) error {
+			_, err := decomp.IntegralSpanningTrees(g, opts...)
+			return err
+		}},
+		{"ApproxVertexConnectivity", func(opts ...decomp.Option) error {
+			_, _, err := decomp.ApproxVertexConnectivity(g, opts...)
+			return err
+		}},
+		{"ApproxVertexConnectivityDistributed", func(opts ...decomp.Option) error {
+			_, _, err := decomp.ApproxVertexConnectivityDistributed(g, opts...)
+			return err
+		}},
+	}
+	invalid := []struct {
+		name string
+		opt  decomp.Option
+		want string // substring the error must carry
+	}{
+		{"epsilon zero", decomp.WithEpsilon(0), "WithEpsilon"},
+		{"epsilon negative", decomp.WithEpsilon(-0.5), "WithEpsilon"},
+		{"epsilon one", decomp.WithEpsilon(1), "WithEpsilon"},
+		{"epsilon above one", decomp.WithEpsilon(1.5), "WithEpsilon"},
+		{"connectivity zero", decomp.WithKnownConnectivity(0), "WithKnownConnectivity"},
+		{"connectivity negative", decomp.WithKnownConnectivity(-4), "WithKnownConnectivity"},
+		{"class factor zero", decomp.WithClassFactor(0), "WithClassFactor"},
+		{"class factor negative", decomp.WithClassFactor(-1), "WithClassFactor"},
+	}
+	for _, ep := range entryPoints {
+		for _, tc := range invalid {
+			err := ep.call(tc.opt)
+			if err == nil {
+				t.Errorf("%s accepted %s", ep.name, tc.name)
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s / %s: error %q does not name %s", ep.name, tc.name, err, tc.want)
+			}
+			// The first invalid option wins even when a valid one follows.
+			if err2 := ep.call(tc.opt, decomp.WithSeed(1)); err2 == nil || err2.Error() != err.Error() {
+				t.Errorf("%s / %s: error not stable with trailing options: %v vs %v", ep.name, tc.name, err2, err)
+			}
+		}
+	}
+	// Valid values still work end to end.
+	if _, err := decomp.PackSpanningTrees(g, decomp.WithEpsilon(0.2), decomp.WithKnownConnectivity(3)); err != nil {
+		t.Fatalf("valid spanning options rejected: %v", err)
+	}
+	if _, err := decomp.PackDominatingTrees(g, decomp.WithClassFactor(0.5), decomp.WithSeed(2)); err != nil {
+		t.Fatalf("valid dominating options rejected: %v", err)
+	}
+}

@@ -1,6 +1,11 @@
 // Gossip: the all-to-all broadcast of Appendix A. Every node starts
 // with one message; with a dominating-tree packing the network finishes
 // in O~(n/k) rounds instead of the Θ(n) any single-tree schedule needs.
+//
+// The gossip demand is served through a reusable Scheduler handle: the
+// per-tree routing state is built once per packing, and each seed's run
+// reuses the handle's warm buffers instead of paying per-call
+// construction (the steady-state serving path of cmd/serve).
 package main
 
 import (
@@ -23,7 +28,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		multi, err := decomp.Gossip(cfg.g, packing, 13)
+		sched, err := decomp.NewBroadcastScheduler(cfg.g, packing)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -31,12 +36,27 @@ func main() {
 		for i := range all {
 			all[i] = i
 		}
+		gossip := decomp.Demand{Sources: all}
+		// One handle serves every seed; only the first run grows buffers.
+		var rounds, best int
+		const seeds = 3
+		for seed := uint64(13); seed < 13+seeds; seed++ {
+			res, err := sched.Run(gossip, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rounds += res.Rounds
+			if best == 0 || res.Rounds < best {
+				best = res.Rounds
+			}
+		}
+		avg := float64(rounds) / seeds
 		single, err := decomp.SingleTreeBroadcast(cfg.g, all, decomp.VCongest, 13)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-24s packing: %4d rounds (%.2f msg/round)   single tree: %4d rounds   speedup %.2fx\n",
-			cfg.name, multi.Rounds, multi.Throughput, single.Rounds,
-			float64(single.Rounds)/float64(multi.Rounds))
+		fmt.Printf("%-24s packing: avg %6.1f rounds over %d seeds (best %4d, %.2f msg/round)   single tree: %4d rounds   speedup %.2fx\n",
+			cfg.name, avg, seeds, best, float64(cfg.g.N())/avg, single.Rounds,
+			float64(single.Rounds)/avg)
 	}
 }

@@ -2,9 +2,12 @@ package decomp_test
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 
+	decomp "repro"
 	"repro/internal/fingerprint"
 )
 
@@ -51,6 +54,57 @@ func TestFingerprintGolden(t *testing.T) {
 		}
 	}
 	t.Fatal("fingerprint differs from golden (trailing content)")
+}
+
+// TestFingerprintCloneParity extends the determinism gate across the
+// Scheduler core/buffers split: the E-CONGEST broadcast line workload is
+// replayed through a reusable handle AND through its Clone(), and both
+// must reproduce the committed golden's E lines byte for byte. A clone
+// that shared mutable state with (or diverged from) its original would
+// fail here without touching FINGERPRINT.txt itself.
+func TestFingerprintCloneParity(t *testing.T) {
+	golden, err := os.ReadFile("FINGERPRINT.txt")
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	var want []string
+	for _, line := range splitLines(string(golden)) {
+		if strings.HasPrefix(line, "E seed=") {
+			want = append(want, line)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("golden carries no E lines")
+	}
+
+	// The same workload broadcastFingerprints pins as the E lines.
+	k := decomp.Complete(16)
+	sp, err := decomp.PackSpanningTrees(k, decomp.WithSeed(1), decomp.WithKnownConnectivity(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := decomp.NewEdgeBroadcastScheduler(k, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := orig.Clone()
+	demand := decomp.Demand{Sources: decomp.UniformSources(k.N(), 4*k.N(), 3)}
+	for seed := uint64(0); seed < uint64(len(want)); seed++ {
+		ro, err := orig.Run(demand, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := clone.Run(demand, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ro != rc {
+			t.Fatalf("seed %d: clone %+v != original handle %+v", seed, rc, ro)
+		}
+		if got := fmt.Sprintf("E seed=%d multi=%+v", seed, rc); got != want[seed] {
+			t.Fatalf("seed %d: clone output diverges from golden:\n  golden: %s\n  got:    %s", seed, want[seed], got)
+		}
+	}
 }
 
 func splitLines(s string) []string {

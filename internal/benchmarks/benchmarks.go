@@ -279,7 +279,55 @@ func E5Steady() []Case {
 	}
 }
 
-// Cases returns every E1–E5 workload in experiment order.
+// E6Parallel measures parallel demand throughput through the serving
+// layer: K closed-loop workers each push M demands through one
+// serve.Service (singleflight-cached decomposition, pooled Scheduler
+// clones sharing one immutable core, bounded concurrency). The packing
+// and the first decomposition happen outside the timed region, so ns/op
+// is K×M steady-state demands of parallel serving; W1 is the serial
+// baseline the W8 case is compared against.
+func E6Parallel() []Case {
+	const demandsPerWorker = 4
+	g := graph.Complete(16)
+	var cases []Case
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		cases = append(cases, Case{
+			ID:   "E6ParallelThroughput",
+			Name: fmt.Sprintf("W%d", workers),
+			Bench: func(b *testing.B) {
+				svc := decomp.NewService(decomp.ServiceConfig{PackSeed: 1, MaxConcurrent: workers})
+				id, err := svc.RegisterGraph(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := svc.Decompose(id, decomp.KindSpanning); err != nil {
+					b.Fatal(err)
+				}
+				cfg := decomp.LoadConfig{
+					GraphID: id, Kind: decomp.KindSpanning,
+					Workers: workers, Demands: demandsPerWorker,
+					MsgsPerDemand: 4 * g.N(), Seed: 7,
+				}
+				b.ResetTimer()
+				var rep decomp.LoadReport
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = decomp.GenerateLoad(svc, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(workers*demandsPerWorker), "demands/op")
+				b.ReportMetric(rep.MsgsPerRound, "msgs/round")
+				b.ReportMetric(rep.DemandsPerSec, "demands/sec")
+			},
+		})
+	}
+	return cases
+}
+
+// Cases returns every E1–E6 workload in experiment order.
 func Cases() []Case {
 	var all []Case
 	all = append(all, E1()...)
@@ -287,5 +335,6 @@ func Cases() []Case {
 	all = append(all, E3Cent()...)
 	all = append(all, E3Dist(), E4(), E5())
 	all = append(all, E5Steady()...)
+	all = append(all, E6Parallel()...)
 	return all
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package cast
+
+// raceEnabled reports whether the race detector is active; under it
+// sync.Pool intentionally drops items at random, so pool-backed
+// allocation counts are meaningless.
+const raceEnabled = true

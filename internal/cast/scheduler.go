@@ -6,6 +6,13 @@
 // per Run once the buffers have grown to the demand size — while
 // producing results identical, transmission for transmission, to a
 // fresh Broadcast call with the same seed.
+//
+// The handle is split into a shared immutable core and per-handle
+// mutable buffers: Clone returns a sibling handle over the same core
+// with fresh buffers, so many goroutines can Run demands against one
+// decomposition concurrently, each keeping the zero-steady-state-alloc
+// property and producing results byte-identical to a serial run of the
+// same (demand, seed).
 package cast
 
 import (
@@ -22,38 +29,58 @@ import (
 // (graph, decomposition, model) triple. Construct it once with
 // NewScheduler, then serve any number of demands via Run; the handle
 // keeps every setup artifact and scratch buffer alive between runs, so
-// steady-state serving pays only for rounds, not setup. A Scheduler is
-// not safe for concurrent use; shard demands across handles instead.
+// steady-state serving pays only for rounds, not setup.
+//
+// A single Scheduler is not safe for concurrent use, but its setup
+// artifacts are immutable and shared: Clone returns an independent
+// handle over the same core, and any number of clones may Run
+// concurrently with each other (and with the original).
 type Scheduler struct {
-	g     *graph.Graph
-	trees []WeightedTree
-	model sim.Model
+	core *schedCore
 
-	// Tree-choice sampling state: cum[i] is the total weight of
-	// trees[0..i]; pcg is reseeded in place per Run so the draw stream is
-	// identical to a fresh ds.NewRand(seed).
-	cum   []float64
-	total float64
-	pcg   *rand.PCG
-	rng   *rand.Rand
+	// Tree-choice sampling state: pcg is reseeded in place per Run so the
+	// draw stream is identical to a fresh ds.NewRand(seed) — hence
+	// identical across clones for the same (demand, seed).
+	pcg *rand.PCG
+	rng *rand.Rand
 
 	// Per-run demand state, grown once and reused.
 	assign      []int32 // assign[m] = tree routing message m
 	msgsPerTree []int32
 
-	vs *vertexState // V-CONGEST state, nil in E-CONGEST
-	es *edgeState   // E-CONGEST state, nil in V-CONGEST
+	vb *vertexBuffers // V-CONGEST run buffers, nil in E-CONGEST
+	eb *edgeBuffers   // E-CONGEST run buffers, nil in V-CONGEST
 }
 
-// vertexState is the V-CONGEST scheduler's persistent state: membership
-// and adjacency bitmasks are demand-independent and built once; the
-// message-major delivery grids and per-node FIFOs grow to the largest
-// demand served and are cleared per run.
-type vertexState struct {
+// schedCore is the demand-independent, read-only half of a Scheduler:
+// everything NewScheduler computes from (graph, trees, model) and no
+// Run ever mutates. Clones share one core by pointer; nothing below may
+// be written after construction.
+type schedCore struct {
+	g     *graph.Graph
+	trees []WeightedTree
+	model sim.Model
+
+	// cum[i] is the total weight of trees[0..i]; total the grand sum.
+	cum   []float64
+	total float64
+
+	vs *vertexCore // V-CONGEST setup artifacts, nil in E-CONGEST
+	es *edgeCore   // E-CONGEST setup artifacts, nil in V-CONGEST
+}
+
+// vertexCore is the V-CONGEST scheduler's immutable setup: membership
+// and adjacency bitmasks, built once per core and read by every clone.
+type vertexCore struct {
 	stride  int          // words per n-bit row
 	member  []*ds.Bitset // member[t].Has(v): v is in tree t
 	nbrMask []uint64     // nbrMask[v*stride:(v+1)*stride] = v's adjacency
+}
 
+// vertexBuffers is the V-CONGEST scheduler's per-handle run state: the
+// message-major delivery grids and per-node FIFOs grow to the largest
+// demand served and are cleared per run.
+type vertexBuffers struct {
 	hasM    []uint64  // hasM[m*stride:...] = nodes holding message m
 	queuedM []uint64  // queuedM[m*stride:...] = nodes that queued m
 	queues  [][]int32 // per-node FIFO storage, reused across runs
@@ -67,17 +94,15 @@ type vtx struct {
 	m int32
 }
 
-// edgeState is the E-CONGEST scheduler's persistent state. The per-tree
+// edgeCore is the E-CONGEST scheduler's immutable setup. The per-tree
 // CSR arc lists live in shared backing arrays sized for all trees (a
 // fixed 2(n-1) arc stride per tree): tree ti's arcs at vertex v are
 // arcBack[abase[ti]+off[v] : abase[ti]+off[v+1]] with
 // off = offBack[ti*(n+1):]. An arc is stored as its directed-edge index
 // dir = 2*eid + side alone — the edge id is dir>>1 and the receiving
 // endpoint comes from headOf — so arcs are 4 bytes each. treeEdges[ti]
-// is the tree's edge set as a bitmask over edge ids. All of that is
-// demand-independent; only the FIFO buffer and congestion tables are
-// per-run.
-type edgeState struct {
+// is the tree's edge set as a bitmask over edge ids.
+type edgeCore struct {
 	ewords, awords int
 
 	offBack   []int32  // len(trees)*(n+1) CSR offsets
@@ -85,7 +110,12 @@ type edgeState struct {
 	abase     []int32  // arcBack base per tree
 	treeEdges []uint64 // per-tree edge bitmask rows
 	headOf    []int32  // headOf[dir] = receiving endpoint of arc dir
+}
 
+// edgeBuffers is the E-CONGEST scheduler's per-handle run state: FIFO
+// layout, cursors, activity masks, and congestion tables recomputed per
+// demand over grown-once storage.
+type edgeBuffers struct {
 	vcong       []int32  // transmissions per node (derived, not counted)
 	econg       []int32  // messages per edge (derived, not counted)
 	qoff        []int32  // per-arc FIFO segment offsets into qbuf
@@ -111,35 +141,72 @@ func NewScheduler(g *graph.Graph, trees []WeightedTree, model sim.Model) (*Sched
 			return nil, fmt.Errorf("cast: tree %d not dominating (required in V-CONGEST)", i)
 		}
 	}
-	s := &Scheduler{
-		g:           g,
-		trees:       trees,
-		model:       model,
-		cum:         make([]float64, len(trees)),
-		pcg:         rand.NewPCG(0, 0),
-		msgsPerTree: make([]int32, len(trees)),
+	core := &schedCore{
+		g:     g,
+		trees: trees,
+		model: model,
+		cum:   make([]float64, len(trees)),
 	}
-	s.rng = rand.New(s.pcg)
 	for i, t := range trees {
-		s.total += t.Weight
-		s.cum[i] = s.total
+		core.total += t.Weight
+		core.cum[i] = core.total
 	}
 	switch model {
 	case sim.VCongest:
-		s.vs = newVertexState(g, trees)
+		core.vs = newVertexCore(g, trees)
 	case sim.ECongest:
-		s.es = newEdgeState(g, trees)
+		core.es = newEdgeCore(g, trees)
 	default:
 		return nil, fmt.Errorf("cast: unknown model %v", model)
 	}
-	return s, nil
+	return newHandle(core), nil
 }
 
+// newHandle wraps a core with fresh per-handle buffers; NewScheduler
+// and Clone share it so every handle starts from the same state.
+func newHandle(core *schedCore) *Scheduler {
+	s := &Scheduler{
+		core:        core,
+		pcg:         rand.NewPCG(0, 0),
+		msgsPerTree: make([]int32, len(core.trees)),
+	}
+	s.rng = rand.New(s.pcg)
+	n := core.g.N()
+	if core.vs != nil {
+		s.vb = &vertexBuffers{
+			queues: make([][]int32, n),
+			qhead:  make([]int32, n),
+			vcong:  make([]int, n),
+		}
+	}
+	if core.es != nil {
+		nArcs := 2 * core.g.M()
+		s.eb = &edgeBuffers{
+			vcong:       make([]int32, n),
+			econg:       make([]int32, core.g.M()),
+			qoff:        make([]int32, nArcs+1),
+			qht:         make([]uint64, nArcs),
+			activeWords: make([]uint64, (nArcs+63)/64),
+			snapWords:   make([]uint64, (nArcs+63)/64),
+		}
+	}
+	return s
+}
+
+// Clone returns an independent handle over the same immutable core:
+// setup artifacts (per-tree CSR arc lists, bitmasks, congestion tables)
+// are shared, run buffers are fresh. The clone serves Run concurrently
+// with the original and with other clones, keeps the zero-steady-state-
+// allocation property once warm, and produces results byte-identical to
+// the original handle for the same (demand, seed). Cloning a clone is
+// equivalent to cloning the original.
+func (s *Scheduler) Clone() *Scheduler { return newHandle(s.core) }
+
 // Model reports the congestion model the handle schedules for.
-func (s *Scheduler) Model() sim.Model { return s.model }
+func (s *Scheduler) Model() sim.Model { return s.core.model }
 
 // NumTrees reports the decomposition size the handle routes over.
-func (s *Scheduler) NumTrees() int { return len(s.trees) }
+func (s *Scheduler) NumTrees() int { return len(s.core.trees) }
 
 // Run disseminates the demand's messages to every node by routing each
 // along a randomly chosen tree of the decomposition, exactly as
@@ -150,7 +217,7 @@ func (s *Scheduler) Run(demand Demand, seed uint64) (Result, error) {
 	}
 	ds.Reseed(s.pcg, seed)
 	s.assignDemand(len(demand.Sources))
-	if s.model == sim.VCongest {
+	if s.core.model == sim.VCongest {
 		return s.runVertex(demand)
 	}
 	return s.runEdge(demand)
@@ -166,10 +233,11 @@ func (s *Scheduler) assignDemand(nMsgs int) {
 	}
 	s.assign = s.assign[:nMsgs]
 	clear(s.msgsPerTree)
+	trees, cum := s.core.trees, s.core.cum
 	for i := range s.assign {
-		r := s.rng.Float64() * s.total
-		ti := len(s.trees) - 1
-		for j, c := range s.cum {
+		r := s.rng.Float64() * s.core.total
+		ti := len(trees) - 1
+		for j, c := range cum {
 			if r <= c {
 				ti = j
 				break
@@ -180,14 +248,11 @@ func (s *Scheduler) assignDemand(nMsgs int) {
 	}
 }
 
-func newVertexState(g *graph.Graph, trees []WeightedTree) *vertexState {
+func newVertexCore(g *graph.Graph, trees []WeightedTree) *vertexCore {
 	n := g.N()
-	vs := &vertexState{
+	vs := &vertexCore{
 		stride: (n + 63) / 64,
 		member: make([]*ds.Bitset, len(trees)),
-		queues: make([][]int32, n),
-		qhead:  make([]int32, n),
-		vcong:  make([]int, n),
 	}
 	for ti, t := range trees {
 		vs.member[ti] = ds.NewBitset(n)
@@ -216,30 +281,31 @@ func newVertexState(g *graph.Graph, trees []WeightedTree) *vertexState {
 // neighbors ∧ members ∧ ¬queued — identical, transmission for
 // transmission, to the scalar per-neighbor loop it replaces.
 func (s *Scheduler) runVertex(demand Demand) (Result, error) {
-	vs := s.vs
-	n := s.g.N()
+	vs := s.core.vs
+	vb := s.vb
+	n := s.core.g.N()
 	nMsgs := len(demand.Sources)
 	stride := vs.stride
 	res := Result{TreeLoad: int(maxOf32(s.msgsPerTree))}
 
 	need := nMsgs * stride
-	if cap(vs.hasM) < need {
-		vs.hasM = make([]uint64, need)
+	if cap(vb.hasM) < need {
+		vb.hasM = make([]uint64, need)
 	} else {
-		vs.hasM = vs.hasM[:need]
-		clear(vs.hasM)
+		vb.hasM = vb.hasM[:need]
+		clear(vb.hasM)
 	}
-	if cap(vs.queuedM) < need {
-		vs.queuedM = make([]uint64, need)
+	if cap(vb.queuedM) < need {
+		vb.queuedM = make([]uint64, need)
 	} else {
-		vs.queuedM = vs.queuedM[:need]
-		clear(vs.queuedM)
+		vb.queuedM = vb.queuedM[:need]
+		clear(vb.queuedM)
 	}
-	for v := range vs.queues {
-		vs.queues[v] = vs.queues[v][:0]
+	for v := range vb.queues {
+		vb.queues[v] = vb.queues[v][:0]
 	}
-	clear(vs.qhead)
-	clear(vs.vcong)
+	clear(vb.qhead)
+	clear(vb.vcong)
 
 	// Injection: each source holds its message and transmits it once;
 	// member neighbors of the assigned tree pick it up and flood it
@@ -249,37 +315,37 @@ func (s *Scheduler) runVertex(demand Demand) (Result, error) {
 	res.SetupRounds = 1
 	for m, src := range demand.Sources {
 		bit := uint64(1) << (uint(src) & 63)
-		vs.hasM[m*stride+src>>6] |= bit
-		if vs.queuedM[m*stride+src>>6]&bit == 0 {
-			vs.queuedM[m*stride+src>>6] |= bit
-			vs.queues[src] = append(vs.queues[src], int32(m))
+		vb.hasM[m*stride+src>>6] |= bit
+		if vb.queuedM[m*stride+src>>6]&bit == 0 {
+			vb.queuedM[m*stride+src>>6] |= bit
+			vb.queues[src] = append(vb.queues[src], int32(m))
 		}
 	}
 	// Each message occupies exactly its own (source, message) cell here.
 	remaining := n*nMsgs - nMsgs
 
-	sends := vs.sends[:0]
-	maxRounds := 4 * (nMsgs + n) * (len(s.trees) + 2)
+	sends := vb.sends[:0]
+	maxRounds := 4 * (nMsgs + n) * (len(s.core.trees) + 2)
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
-			vs.sends = sends
+			vb.sends = sends
 			return res, fmt.Errorf("cast: vertex scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
 		}
 		res.Rounds++
 		sends = sends[:0]
 		for v := 0; v < n; v++ {
-			if int(vs.qhead[v]) == len(vs.queues[v]) {
+			if int(vb.qhead[v]) == len(vb.queues[v]) {
 				continue
 			}
-			m := vs.queues[v][vs.qhead[v]]
-			vs.qhead[v]++
+			m := vb.queues[v][vb.qhead[v]]
+			vb.qhead[v]++
 			sends = append(sends, vtx{v, m})
 		}
 		for _, t := range sends {
-			vs.vcong[t.v]++
+			vb.vcong[t.v]++
 			m := int(t.m)
-			hrow := vs.hasM[m*stride : (m+1)*stride]
-			qrow := vs.queuedM[m*stride : (m+1)*stride]
+			hrow := vb.hasM[m*stride : (m+1)*stride]
+			qrow := vb.queuedM[m*stride : (m+1)*stride]
 			nrow := vs.nbrMask[t.v*stride : (t.v+1)*stride]
 			mwords := vs.member[s.assign[m]].Words()
 			for j, nb := range nrow {
@@ -294,21 +360,21 @@ func (s *Scheduler) runVertex(demand Demand) (Result, error) {
 				// queued in ascending node order like the scalar loop.
 				for enq := nb & mwords[j] &^ qrow[j]; enq != 0; enq &= enq - 1 {
 					w := j<<6 + bits.TrailingZeros64(enq)
-					vs.queues[w] = append(vs.queues[w], t.m)
+					vb.queues[w] = append(vb.queues[w], t.m)
 				}
 				qrow[j] |= nb & mwords[j]
 			}
 		}
 	}
-	vs.sends = sends
+	vb.sends = sends
 	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
-	res.MaxVertexCongestion = maxOf(vs.vcong)
+	res.MaxVertexCongestion = maxOf(vb.vcong)
 	// Every transmission by a node crosses each of its incident edges
 	// exactly once, so an edge's load is the sum of its endpoints'
 	// transmission counts — no per-delivery counter needed.
 	maxEdge := 0
-	for _, e := range s.g.Edges() {
-		if c := vs.vcong[e.U] + vs.vcong[e.V]; c > maxEdge {
+	for _, e := range s.core.g.Edges() {
+		if c := vb.vcong[e.U] + vb.vcong[e.V]; c > maxEdge {
 			maxEdge = c
 		}
 	}
@@ -316,25 +382,19 @@ func (s *Scheduler) runVertex(demand Demand) (Result, error) {
 	return res, nil
 }
 
-func newEdgeState(g *graph.Graph, trees []WeightedTree) *edgeState {
+func newEdgeCore(g *graph.Graph, trees []WeightedTree) *edgeCore {
 	n := g.N()
 	m := g.M()
 	nArcs := 2 * m
 	arcStride := 2 * max(n-1, 0)
 	edges := g.Edges()
-	es := &edgeState{
-		ewords:      (m + 63) / 64,
-		awords:      (nArcs + 63) / 64,
-		offBack:     make([]int32, len(trees)*(n+1)),
-		arcBack:     make([]int32, len(trees)*arcStride),
-		abase:       make([]int32, len(trees)),
-		headOf:      make([]int32, nArcs),
-		vcong:       make([]int32, n),
-		econg:       make([]int32, m),
-		qoff:        make([]int32, nArcs+1),
-		qht:         make([]uint64, nArcs),
-		activeWords: make([]uint64, (nArcs+63)/64),
-		snapWords:   make([]uint64, (nArcs+63)/64),
+	es := &edgeCore{
+		ewords:  (m + 63) / 64,
+		awords:  (nArcs + 63) / 64,
+		offBack: make([]int32, len(trees)*(n+1)),
+		arcBack: make([]int32, len(trees)*arcStride),
+		abase:   make([]int32, len(trees)),
+		headOf:  make([]int32, nArcs),
 	}
 	es.treeEdges = make([]uint64, len(trees)*es.ewords)
 	cur := make([]int32, n)
@@ -393,8 +453,9 @@ func newEdgeState(g *graph.Graph, trees []WeightedTree) *edgeState {
 // CSR arc offsets — identical, transmission for transmission, to the
 // scalar counters they replace.
 func (s *Scheduler) runEdge(demand Demand) (Result, error) {
-	es := s.es
-	n := s.g.N()
+	es := s.core.es
+	eb := s.eb
+	n := s.core.g.N()
 	nMsgs := len(demand.Sources)
 	res := Result{TreeLoad: int(maxOf32(s.msgsPerTree))}
 
@@ -404,25 +465,25 @@ func (s *Scheduler) runEdge(demand Demand) (Result, error) {
 	// Beyond metering, econg bounds every directed-edge FIFO's total
 	// traffic, which sizes the flat queue buffer below. Trees with no
 	// assigned messages are never routed through and are skipped.
-	clear(es.vcong)
-	clear(es.econg)
-	for ti := range s.trees {
+	clear(eb.vcong)
+	clear(eb.econg)
+	for ti := range s.core.trees {
 		c := s.msgsPerTree[ti]
 		if c == 0 {
 			continue
 		}
 		off := es.offBack[ti*(n+1) : (ti+1)*(n+1)]
 		for v := 0; v < n; v++ {
-			es.vcong[v] += c * (off[v+1] - off[v] - 1)
+			eb.vcong[v] += c * (off[v+1] - off[v] - 1)
 		}
 		for wi, w := range es.treeEdges[ti*es.ewords : (ti+1)*es.ewords] {
 			for ; w != 0; w &= w - 1 {
-				es.econg[wi<<6+bits.TrailingZeros64(w)] += c
+				eb.econg[wi<<6+bits.TrailingZeros64(w)] += c
 			}
 		}
 	}
 	for _, src := range demand.Sources {
-		es.vcong[src]++
+		eb.vcong[src]++
 	}
 
 	// Per directed edge FIFO of messages; directed index = 2*eid + side.
@@ -432,22 +493,22 @@ func (s *Scheduler) runEdge(demand Demand) (Result, error) {
 	// cursors absolute into qbuf and seeded at the segment base, so the
 	// transmission loops never reload the segment offsets; a FIFO is
 	// empty iff head == tail.
-	for eid, c := range es.econg {
-		es.qoff[2*eid+1] = es.qoff[2*eid] + c
-		es.qoff[2*eid+2] = es.qoff[2*eid+1] + c
+	for eid, c := range eb.econg {
+		eb.qoff[2*eid+1] = eb.qoff[2*eid] + c
+		eb.qoff[2*eid+2] = eb.qoff[2*eid+1] + c
 	}
 	// Each message contributes n-1 queue slots per direction pair: total
 	// FIFO capacity is known before any load is computed.
 	qcap := nMsgs * 2 * max(n-1, 0)
-	if cap(es.qbuf) < qcap {
-		es.qbuf = make([]int32, qcap)
+	if cap(eb.qbuf) < qcap {
+		eb.qbuf = make([]int32, qcap)
 	} else {
-		es.qbuf = es.qbuf[:qcap]
+		eb.qbuf = eb.qbuf[:qcap]
 	}
-	for dir := range es.qht {
-		es.qht[dir] = uint64(es.qoff[dir]) * (1<<32 + 1)
+	for dir := range eb.qht {
+		eb.qht[dir] = uint64(eb.qoff[dir]) * (1<<32 + 1)
 	}
-	clear(es.activeWords)
+	clear(eb.activeWords)
 
 	// Injection delivers each message at its source and forwards it on
 	// every arc of its tree (the relay below with no arrival edge to
@@ -462,16 +523,16 @@ func (s *Scheduler) runEdge(demand Demand) (Result, error) {
 		off := es.offBack[ti*(n+1):]
 		base := es.abase[ti]
 		for _, dir := range es.arcBack[base+off[src] : base+off[src+1]] {
-			ht := es.qht[dir]
+			ht := eb.qht[dir]
 			if uint32(ht) == uint32(ht>>32) {
-				es.activeWords[dir>>6] |= 1 << (uint(dir) & 63)
+				eb.activeWords[dir>>6] |= 1 << (uint(dir) & 63)
 			}
-			es.qbuf[ht>>32] = int32(msg)
-			es.qht[dir] = ht + 1<<32
+			eb.qbuf[ht>>32] = int32(msg)
+			eb.qht[dir] = ht + 1<<32
 		}
 	}
 
-	maxRounds := 4 * (nMsgs + n) * (len(s.trees) + 2)
+	maxRounds := 4 * (nMsgs + n) * (len(s.core.trees) + 2)
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
 			return res, fmt.Errorf("cast: edge scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
@@ -483,15 +544,15 @@ func (s *Scheduler) runEdge(demand Demand) (Result, error) {
 		// equivalent to the scalar two-phase loop: a relay only appends
 		// at queue tails and revives bits outside the snapshot, neither
 		// of which a snapshot pop ever re-reads within the round.
-		copy(es.snapWords, es.activeWords)
-		for wi, w := range es.snapWords {
+		copy(eb.snapWords, eb.activeWords)
+		for wi, w := range eb.snapWords {
 			for ; w != 0; w &= w - 1 {
 				dir := wi<<6 + bits.TrailingZeros64(w)
-				ht := es.qht[dir] + 1
-				es.qht[dir] = ht
-				msg := es.qbuf[uint32(ht)-1]
+				ht := eb.qht[dir] + 1
+				eb.qht[dir] = ht
+				msg := eb.qbuf[uint32(ht)-1]
 				if uint32(ht) == uint32(ht>>32) {
-					es.activeWords[wi] &^= 1 << (uint(dir) & 63)
+					eb.activeWords[wi] &^= 1 << (uint(dir) & 63)
 				}
 				// The relay, open-coded: the Go inliner rejects a
 				// closure, and this loop carries every transmission of
@@ -506,18 +567,18 @@ func (s *Scheduler) runEdge(demand Demand) (Result, error) {
 					if adir>>1 == fromEdge {
 						continue
 					}
-					aht := es.qht[adir]
+					aht := eb.qht[adir]
 					if uint32(aht) == uint32(aht>>32) {
-						es.activeWords[adir>>6] |= 1 << (uint(adir) & 63)
+						eb.activeWords[adir>>6] |= 1 << (uint(adir) & 63)
 					}
-					es.qbuf[aht>>32] = msg
-					es.qht[adir] = aht + 1<<32
+					eb.qbuf[aht>>32] = msg
+					eb.qht[adir] = aht + 1<<32
 				}
 			}
 		}
 	}
 	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
-	res.MaxVertexCongestion = int(maxOf32(es.vcong))
-	res.MaxEdgeCongestion = int(maxOf32(es.econg))
+	res.MaxVertexCongestion = int(maxOf32(eb.vcong))
+	res.MaxEdgeCongestion = int(maxOf32(eb.econg))
 	return res, nil
 }

@@ -1,0 +1,142 @@
+// The HTTP front end over the Service: a small JSON API served by
+// cmd/serve and driven in-process by its -selftest mode.
+//
+//	POST /v1/graphs                      {"n":..,"edges":[[u,v],..]}  -> {"id":..,"n":..,"m":..}
+//	GET  /v1/graphs/{id}                                              -> {"id":..,"n":..,"m":..}
+//	POST /v1/graphs/{id}/decomposition   {"kind":"dominating"|"spanning"} -> DecompInfo
+//	POST /v1/graphs/{id}/broadcast       {"kind":..,"sources":[..],"seed":..} -> BroadcastResponse
+//	GET  /v1/stats                                                    -> Stats
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cast"
+)
+
+// RegisterRequest is the POST /v1/graphs payload.
+type RegisterRequest struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// GraphInfo answers graph registration and lookup.
+type GraphInfo struct {
+	ID string `json:"id"`
+	N  int    `json:"n"`
+	M  int    `json:"m"`
+}
+
+// DecomposeRequest is the POST /v1/graphs/{id}/decomposition payload.
+type DecomposeRequest struct {
+	Kind Kind `json:"kind"`
+}
+
+// BroadcastRequest is the POST /v1/graphs/{id}/broadcast payload.
+type BroadcastRequest struct {
+	Kind    Kind   `json:"kind"`
+	Sources []int  `json:"sources"`
+	Seed    uint64 `json:"seed"`
+}
+
+// BroadcastResponse wraps a demand's scheduling result.
+type BroadcastResponse struct {
+	GraphID  string      `json:"graph_id"`
+	Kind     Kind        `json:"kind"`
+	Messages int         `json:"messages"`
+	Result   cast.Result `json:"result"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler mounts the JSON API over the service.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		id, err := s.Register(req.N, req.Edges)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		g, _ := s.Graph(id)
+		writeJSON(w, http.StatusOK, GraphInfo{ID: id, N: g.N(), M: g.M()})
+	})
+	mux.HandleFunc("GET /v1/graphs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		g, ok := s.Graph(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, GraphInfo{ID: id, N: g.N(), M: g.M()})
+	})
+	mux.HandleFunc("POST /v1/graphs/{id}/decomposition", func(w http.ResponseWriter, r *http.Request) {
+		var req DecomposeRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		id := r.PathValue("id")
+		info, err := s.Decompose(id, req.Kind)
+		if err != nil {
+			writeError(w, statusFor(s, id), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v1/graphs/{id}/broadcast", func(w http.ResponseWriter, r *http.Request) {
+		var req BroadcastRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		id := r.PathValue("id")
+		res, err := s.Broadcast(id, req.Kind, req.Sources, req.Seed)
+		if err != nil {
+			writeError(w, statusFor(s, id), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, BroadcastResponse{
+			GraphID: id, Kind: req.Kind, Messages: len(req.Sources), Result: res,
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// statusFor distinguishes "graph does not exist" (404) from request
+// errors on an existing graph (400).
+func statusFor(s *Service, id string) int {
+	if _, ok := s.Graph(id); !ok {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

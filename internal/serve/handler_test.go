@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/graph"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body, out any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("bad response %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// TestHTTPRoundTrip drives the whole API over a real HTTP server:
+// register, decompose (concurrently, proving the singleflight holds
+// across the HTTP layer), broadcast, stats — and pins that the HTTP
+// path returns results byte-identical to the in-process service.
+func TestHTTPRoundTrip(t *testing.T) {
+	svc := New(Config{PackSeed: 1, MaxConcurrent: 4})
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	g := graph.Hypercube(4)
+	var edges [][2]int
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{int(e.U), int(e.V)})
+	}
+	var info GraphInfo
+	if code, body := postJSON(t, client, srv.URL+"/v1/graphs", RegisterRequest{N: g.N(), Edges: edges}, &info); code != http.StatusOK {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	if info.N != g.N() || info.M != g.M() {
+		t.Fatalf("register echoed wrong graph: %+v", info)
+	}
+
+	// GET the graph back.
+	resp, err := client.Get(srv.URL + "/v1/graphs/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph lookup: %d", resp.StatusCode)
+	}
+
+	// Concurrent decomposition requests over HTTP: exactly one packing.
+	const callers = 8
+	var wg sync.WaitGroup
+	infos := make([]DecompInfo, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := postJSON(t, client, srv.URL+"/v1/graphs/"+info.ID+"/decomposition",
+				DecomposeRequest{Kind: Spanning}, &infos[i])
+			if code != http.StatusOK {
+				t.Errorf("decompose %d: %d %s", i, code, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range infos {
+		if infos[i].Trees != infos[0].Trees || infos[i].Size != infos[0].Size {
+			t.Fatalf("caller %d saw different decomposition: %+v vs %+v", i, infos[i], infos[0])
+		}
+	}
+
+	// Broadcast over HTTP == in-process broadcast, byte for byte.
+	srcs := []int{0, 3, 7, 11, 15, 2, 9}
+	var resp1 BroadcastResponse
+	if code, body := postJSON(t, client, srv.URL+"/v1/graphs/"+info.ID+"/broadcast",
+		BroadcastRequest{Kind: Spanning, Sources: srcs, Seed: 42}, &resp1); code != http.StatusOK {
+		t.Fatalf("broadcast: %d %s", code, body)
+	}
+	direct, err := svc.Broadcast(info.ID, Spanning, srcs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp1.Result != direct {
+		t.Fatalf("HTTP result %+v != in-process result %+v", resp1.Result, direct)
+	}
+	if resp1.Messages != len(srcs) {
+		t.Fatalf("messages echoed wrong: %+v", resp1)
+	}
+
+	// Stats reflect the traffic and the single packing.
+	var st Stats
+	sresp, err := client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.PackComputes != 1 {
+		t.Fatalf("stats report %d packings over HTTP, want 1", st.PackComputes)
+	}
+	if st.Requests != 2 { // one HTTP broadcast + one in-process
+		t.Fatalf("stats report %d requests, want 2", st.Requests)
+	}
+
+	// Error paths: bad body, unknown graph, unknown kind, bad sources.
+	for _, tc := range []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"unknown graph", srv.URL + "/v1/graphs/gdeadbeef/broadcast", BroadcastRequest{Kind: Spanning, Sources: srcs}, http.StatusNotFound},
+		{"unknown kind", srv.URL + "/v1/graphs/" + info.ID + "/broadcast", BroadcastRequest{Kind: "nope", Sources: srcs}, http.StatusBadRequest},
+		{"bad source", srv.URL + "/v1/graphs/" + info.ID + "/broadcast", BroadcastRequest{Kind: Spanning, Sources: []int{-1}}, http.StatusBadRequest},
+		{"unknown graph decomp", srv.URL + "/v1/graphs/gdeadbeef/decomposition", DecomposeRequest{Kind: Spanning}, http.StatusNotFound},
+		{"bad register", srv.URL + "/v1/graphs", RegisterRequest{N: -3}, http.StatusBadRequest},
+	} {
+		if code, _ := postJSON(t, client, tc.url, tc.body, nil); code != tc.want {
+			t.Fatalf("%s: got %d, want %d", tc.name, code, tc.want)
+		}
+	}
+	if code, _ := postJSON(t, client, srv.URL+"/v1/graphs", map[string]any{"n": 4, "bogus": true}, nil); code != http.StatusBadRequest {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestHTTPLoadThroughService exercises the load generator against a
+// service that is simultaneously serving HTTP traffic, mimicking the
+// mixed workload cmd/serve -selftest drives.
+func TestHTTPLoadThroughService(t *testing.T) {
+	svc := New(Config{PackSeed: 1, MaxConcurrent: 4})
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	g := graph.Complete(12)
+	id, err := svc.RegisterGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var rep LoadReport
+	var lerr error
+	go func() {
+		defer wg.Done()
+		rep, lerr = GenerateLoad(svc, LoadConfig{GraphID: id, Kind: Spanning, Workers: 2, Demands: 4, Seed: 9})
+	}()
+	var hres BroadcastResponse
+	code, body := postJSON(t, srv.Client(), fmt.Sprintf("%s/v1/graphs/%s/broadcast", srv.URL, id),
+		BroadcastRequest{Kind: Spanning, Sources: []int{0, 5}, Seed: 1}, &hres)
+	if code != http.StatusOK {
+		t.Fatalf("broadcast during load: %d %s", code, body)
+	}
+	wg.Wait()
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	if rep.Demands != 8 {
+		t.Fatalf("load report %+v", rep)
+	}
+	if hres.Result == (cast.Result{}) {
+		t.Fatal("HTTP broadcast returned zero result")
+	}
+	if st := svc.Stats(); st.PackComputes != 1 || st.Requests != 9 {
+		t.Fatalf("mixed workload stats: %+v", st)
+	}
+}

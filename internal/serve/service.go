@@ -1,0 +1,430 @@
+// Package serve is the concurrent decomposition-and-broadcast service:
+// the layer that turns the packers and the cast.Scheduler handle into a
+// system that accepts traffic. It provides
+//
+//   - a graph registry keyed by content hash (registering the same graph
+//     twice yields the same id and shares all cached state),
+//   - a per-(graph, kind) packing cache with singleflight semantics — N
+//     concurrent requests for the same decomposition trigger exactly one
+//     cds.Pack / stp.Pack computation, everyone else waits for it,
+//   - a sync.Pool of Scheduler clones per cached decomposition, so
+//     concurrent demands share the immutable scheduler core and reuse
+//     warm per-run buffers (zero steady-state allocations per clone),
+//   - bounded-concurrency demand execution with per-graph and global
+//     stats (requests, cache hits, rounds, congestion maxima).
+//
+// The HTTP front end over this service lives in handler.go and is
+// served by cmd/serve; the closed-loop load generator in loadgen.go
+// drives it for the E6 parallel-throughput benchmark.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cast"
+	"repro/internal/cds"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stp"
+)
+
+// Kind selects which decomposition a request is served over.
+type Kind string
+
+const (
+	// Dominating is the Theorem 1.2 dominating-tree packing, served in
+	// the V-CONGEST model (Corollary 1.4).
+	Dominating Kind = "dominating"
+	// Spanning is the Theorem 1.3 spanning-tree packing, served in the
+	// E-CONGEST model (Corollary 1.5).
+	Spanning Kind = "spanning"
+)
+
+func (k Kind) valid() bool { return k == Dominating || k == Spanning }
+
+// Config tunes a Service; the zero value serves with the packers'
+// calibrated defaults and a conservative concurrency bound.
+type Config struct {
+	// MaxConcurrent bounds how many demands execute simultaneously
+	// (scheduler rounds are CPU-bound; more in flight than cores just
+	// grows clone pools). Default 8.
+	MaxConcurrent int
+	// PackSeed seeds the packing computations (default 0, packer
+	// defaults). Fixed per service so a graph's decomposition is a pure
+	// function of its content hash.
+	PackSeed uint64
+	// Epsilon overrides the spanning-tree packer's ε when it lies in
+	// (0, 1); values outside that range fall back to the packer default.
+	Epsilon float64
+}
+
+// Service is the concurrent decomposition service. All methods are safe
+// for concurrent use.
+type Service struct {
+	cfg Config
+	sem chan struct{} // bounded-concurrency demand execution
+
+	mu     sync.RWMutex
+	graphs map[string]*graphEntry
+	order  []string // registration order, for stable stats listings
+
+	// Global counters.
+	requests     atomic.Uint64 // broadcast demands served
+	messages     atomic.Uint64 // messages disseminated
+	rounds       atomic.Uint64 // scheduler rounds across all demands
+	packRequests atomic.Uint64 // decomposition requests (incl. cached)
+	packComputes atomic.Uint64 // packings actually computed
+	cacheHits    atomic.Uint64 // decomposition requests served from cache
+	maxVCong     atomic.Int64  // max per-demand vertex congestion seen
+	maxECong     atomic.Int64  // max per-demand edge congestion seen
+}
+
+// graphEntry is one registered graph with its per-kind packing cache
+// and stats.
+type graphEntry struct {
+	id string
+	g  *graph.Graph
+
+	mu    sync.Mutex // guards packs
+	packs map[Kind]*packEntry
+
+	requests  atomic.Uint64
+	rounds    atomic.Uint64
+	cacheHits atomic.Uint64
+	computes  atomic.Uint64
+	maxVCong  atomic.Int64
+	maxECong  atomic.Int64
+}
+
+// packEntry is one cached decomposition: the singleflight slot, the
+// prototype scheduler whose immutable core every pooled clone shares,
+// and the clone pool itself. done is closed once the leader finished
+// (successfully or not); proto/trees/size/err are written only before
+// that close, so followers read them race-free after <-done.
+type packEntry struct {
+	done  chan struct{}
+	proto *cast.Scheduler
+	pool  sync.Pool
+	trees int
+	size  float64
+	err   error
+}
+
+// New builds an empty service.
+func New(cfg Config) *Service {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 8
+	}
+	return &Service{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		graphs: make(map[string]*graphEntry),
+	}
+}
+
+// GraphID is the registry key: a content hash over the canonical
+// (sorted, deduplicated) edge list, so isomorphic inputs with the same
+// labeling always map to the same entry regardless of edge order or
+// duplicates in the request.
+func GraphID(g *graph.Graph) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
+	h.Write(buf[:])
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e.U))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.V))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("g%016x", h.Sum64())
+}
+
+// Register adds a graph from an edge list (duplicates and self-loops
+// dropped, as in decomp.NewGraph) and returns its content-hash id.
+// Registering an already-known graph is an idempotent no-op returning
+// the existing id. Edge endpoints are validated against [0, n) here:
+// this is the network-facing entry point, and the graph builder treats
+// out-of-range endpoints as a programming error (panic).
+func (s *Service) Register(n int, edges [][2]int) (string, error) {
+	if n <= 0 {
+		return "", fmt.Errorf("serve: graph must have n > 0 vertices (got %d)", n)
+	}
+	for i, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return "", fmt.Errorf("serve: edge %d (%d,%d) out of range [0,%d)", i, e[0], e[1], n)
+		}
+	}
+	return s.RegisterGraph(graph.FromEdgeList(n, edges))
+}
+
+// RegisterGraph registers an already-built graph (the in-process path
+// used by the load generator and benchmarks) and returns its id. An id
+// hit is verified against the stored graph's canonical edge list, so a
+// content-hash collision between distinct graphs surfaces as an error
+// instead of silently serving one graph's decomposition for another.
+func (s *Service) RegisterGraph(g *graph.Graph) (string, error) {
+	id := GraphID(g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.graphs[id]; ok {
+		if !sameGraph(e.g, g) {
+			return "", fmt.Errorf("serve: graph id collision on %s (registry holds a different graph)", id)
+		}
+		return id, nil
+	}
+	s.graphs[id] = &graphEntry{id: id, g: g, packs: make(map[Kind]*packEntry)}
+	s.order = append(s.order, id)
+	return id, nil
+}
+
+// sameGraph compares canonical (sorted, deduped) edge lists.
+func sameGraph(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	be := b.Edges()
+	for i, e := range a.Edges() {
+		if e != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph returns a registered graph by id.
+func (s *Service) Graph(id string) (*graph.Graph, bool) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return e.g, true
+}
+
+func (s *Service) lookup(id string) (*graphEntry, bool) {
+	s.mu.RLock()
+	e, ok := s.graphs[id]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+// DecompInfo describes a cached (or just-computed) decomposition.
+type DecompInfo struct {
+	GraphID string  `json:"graph_id"`
+	Kind    Kind    `json:"kind"`
+	Trees   int     `json:"trees"`
+	Size    float64 `json:"size"`
+	// Cached reports whether this request was served from the cache
+	// (false exactly for the one request that triggered the packing).
+	Cached bool `json:"cached"`
+}
+
+// Decompose returns the graph's decomposition of the given kind,
+// computing and caching it on first request. Concurrent first requests
+// singleflight: exactly one runs the packer, the rest block until it
+// finishes and share the result (or its error, which is cached too —
+// the packers are deterministic, so retrying cannot help).
+func (s *Service) Decompose(id string, kind Kind) (DecompInfo, error) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return DecompInfo{}, fmt.Errorf("serve: unknown graph %q", id)
+	}
+	pe, hit, err := s.pack(e, kind)
+	if err != nil {
+		return DecompInfo{}, err
+	}
+	return DecompInfo{GraphID: id, Kind: kind, Trees: pe.trees, Size: pe.size, Cached: hit}, pe.err
+}
+
+// pack is the singleflight packing cache: the first caller for a
+// (graph, kind) becomes the leader and computes; everyone else waits on
+// the entry's done channel. hit reports whether this caller avoided the
+// computation.
+func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
+	if !kind.valid() {
+		return nil, false, fmt.Errorf("serve: unknown decomposition kind %q", kind)
+	}
+	s.packRequests.Add(1)
+	e.mu.Lock()
+	if pe, ok := e.packs[kind]; ok {
+		e.mu.Unlock()
+		<-pe.done
+		s.cacheHits.Add(1)
+		e.cacheHits.Add(1)
+		return pe, true, nil
+	}
+	pe := &packEntry{done: make(chan struct{})}
+	e.packs[kind] = pe
+	e.mu.Unlock()
+
+	s.packComputes.Add(1)
+	e.computes.Add(1)
+	pe.trees, pe.size, pe.proto, pe.err = s.compute(e.g, kind)
+	if pe.proto != nil {
+		proto := pe.proto
+		pe.pool.New = func() any { return proto.Clone() }
+	}
+	close(pe.done)
+	return pe, false, nil
+}
+
+// compute runs the packer for the kind and builds the prototype
+// scheduler whose core all pooled clones will share.
+func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, *cast.Scheduler, error) {
+	var (
+		trees []cast.WeightedTree
+		size  float64
+		model sim.Model
+	)
+	switch kind {
+	case Dominating:
+		p, err := cds.Pack(g, cds.Options{Seed: s.cfg.PackSeed})
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("serve: dominating-tree packing: %w", err)
+		}
+		trees = make([]cast.WeightedTree, len(p.Trees))
+		for i, t := range p.Trees {
+			trees[i] = cast.WeightedTree{Tree: t.Tree, Weight: t.Weight}
+		}
+		size = p.Size()
+		model = sim.VCongest
+	case Spanning:
+		p, err := stp.Pack(g, stp.Options{Seed: s.cfg.PackSeed, Epsilon: s.cfg.Epsilon})
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("serve: spanning-tree packing: %w", err)
+		}
+		trees = make([]cast.WeightedTree, len(p.Trees))
+		for i, t := range p.Trees {
+			trees[i] = cast.WeightedTree{Tree: t.Tree, Weight: t.Weight}
+		}
+		size = p.Size()
+		model = sim.ECongest
+	}
+	sched, err := cast.NewScheduler(g, trees, model)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("serve: scheduler construction: %w", err)
+	}
+	return len(trees), size, sched, nil
+}
+
+// Broadcast serves one demand over the graph's cached decomposition
+// (packing it first if needed): a Scheduler clone is checked out of the
+// pool, the demand runs under the service's concurrency bound, and the
+// result is identical to a serial cast Run with the same (demand, seed).
+func (s *Service) Broadcast(id string, kind Kind, sources []int, seed uint64) (cast.Result, error) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return cast.Result{}, fmt.Errorf("serve: unknown graph %q", id)
+	}
+	if len(sources) == 0 {
+		return cast.Result{}, fmt.Errorf("serve: empty demand")
+	}
+	for i, src := range sources {
+		if src < 0 || src >= e.g.N() {
+			return cast.Result{}, fmt.Errorf("serve: source %d out of range [0,%d) at index %d", src, e.g.N(), i)
+		}
+	}
+	pe, _, err := s.pack(e, kind)
+	if err != nil {
+		return cast.Result{}, err
+	}
+	if pe.err != nil {
+		return cast.Result{}, pe.err
+	}
+
+	s.sem <- struct{}{}
+	c := pe.pool.Get().(*cast.Scheduler)
+	res, err := c.Run(cast.Demand{Sources: sources}, seed)
+	pe.pool.Put(c)
+	<-s.sem
+	if err != nil {
+		return cast.Result{}, err
+	}
+
+	s.requests.Add(1)
+	e.requests.Add(1)
+	s.messages.Add(uint64(len(sources)))
+	s.rounds.Add(uint64(res.Rounds))
+	e.rounds.Add(uint64(res.Rounds))
+	maxInt64(&s.maxVCong, int64(res.MaxVertexCongestion))
+	maxInt64(&e.maxVCong, int64(res.MaxVertexCongestion))
+	maxInt64(&s.maxECong, int64(res.MaxEdgeCongestion))
+	maxInt64(&e.maxECong, int64(res.MaxEdgeCongestion))
+	return res, nil
+}
+
+// maxInt64 lifts m to at least v.
+func maxInt64(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// GraphStats is the per-graph slice of the service counters.
+type GraphStats struct {
+	ID                  string `json:"id"`
+	N                   int    `json:"n"`
+	M                   int    `json:"m"`
+	Requests            uint64 `json:"requests"`
+	Rounds              uint64 `json:"rounds"`
+	CacheHits           uint64 `json:"cache_hits"`
+	PackComputes        uint64 `json:"pack_computes"`
+	MaxVertexCongestion int64  `json:"max_vertex_congestion"`
+	MaxEdgeCongestion   int64  `json:"max_edge_congestion"`
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	Graphs              int          `json:"graphs"`
+	Requests            uint64       `json:"requests"`
+	Messages            uint64       `json:"messages"`
+	Rounds              uint64       `json:"rounds"`
+	PackRequests        uint64       `json:"pack_requests"`
+	PackComputes        uint64       `json:"pack_computes"`
+	CacheHits           uint64       `json:"cache_hits"`
+	MaxVertexCongestion int64        `json:"max_vertex_congestion"`
+	MaxEdgeCongestion   int64        `json:"max_edge_congestion"`
+	PerGraph            []GraphStats `json:"per_graph"`
+}
+
+// Stats snapshots the global and per-graph counters (per-graph entries
+// in registration order).
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	entries := make([]*graphEntry, 0, len(s.order))
+	for _, id := range s.order {
+		entries = append(entries, s.graphs[id])
+	}
+	s.mu.RUnlock()
+	st := Stats{
+		Graphs:              len(entries),
+		Requests:            s.requests.Load(),
+		Messages:            s.messages.Load(),
+		Rounds:              s.rounds.Load(),
+		PackRequests:        s.packRequests.Load(),
+		PackComputes:        s.packComputes.Load(),
+		CacheHits:           s.cacheHits.Load(),
+		MaxVertexCongestion: s.maxVCong.Load(),
+		MaxEdgeCongestion:   s.maxECong.Load(),
+	}
+	for _, e := range entries {
+		st.PerGraph = append(st.PerGraph, GraphStats{
+			ID:                  e.id,
+			N:                   e.g.N(),
+			M:                   e.g.M(),
+			Requests:            e.requests.Load(),
+			Rounds:              e.rounds.Load(),
+			CacheHits:           e.cacheHits.Load(),
+			PackComputes:        e.computes.Load(),
+			MaxVertexCongestion: e.maxVCong.Load(),
+			MaxEdgeCongestion:   e.maxECong.Load(),
+		})
+	}
+	return st
+}
