@@ -71,8 +71,8 @@ bench:
 # Pre-merge regression gate: rerun the full E1-E5 measurement and fail
 # if any benchmark is more than TOLERANCE (fractional) slower than the
 # committed baseline:
-#   make bench-check [CHECK_BASELINE=BENCH_pr5.json] [TOLERANCE=0.20]
-CHECK_BASELINE ?= BENCH_pr5.json
+#   make bench-check [CHECK_BASELINE=BENCH_pr6.json] [TOLERANCE=0.20]
+CHECK_BASELINE ?= BENCH_pr6.json
 TOLERANCE ?= 0.20
 bench-check:
 	$(GO) run ./cmd/bench -check -baseline $(CHECK_BASELINE) -tolerance $(TOLERANCE)

@@ -77,6 +77,15 @@ func BenchmarkE6ParallelThroughput(b *testing.B) {
 	}
 }
 
+// E7-faulted: seeded edge-failure sweep over the E5 decomposition,
+// measuring delivered fraction and reroute round overhead from 0 kills
+// up past the connectivity bound (PR 6's fault-injection path).
+func BenchmarkE7FaultedBroadcast(b *testing.B) {
+	for _, c := range benchmarks.E7Faulted() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
 // --- E6: Corollary 1.6 — oblivious routing congestion ---------------------
 
 func BenchmarkE6ObliviousCongestion(b *testing.B) {

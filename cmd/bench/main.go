@@ -9,7 +9,10 @@
 // benchmark present in the baseline must be no more than -tolerance
 // (fractional, default 0.20) slower than its baseline ns/op, or the
 // process exits nonzero — the pre-merge `make bench-check` regression
-// gate.
+// gate. A benchmark over tolerance is re-measured up to -retries times
+// and gated on its best attempt, so a transient host-contention spike
+// on a shared box does not fail the gate while a real regression (slow
+// on every attempt) still does.
 package main
 
 import (
@@ -54,6 +57,7 @@ func main() {
 	outDir := flag.String("out", ".", "directory for the output file")
 	check := flag.Bool("check", false, "regression-gate mode: compare against -baseline, write nothing, exit nonzero on regression")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown per benchmark before -check fails (0.20 = 20%)")
+	retries := flag.Int("retries", 2, "extra -check measurements for a benchmark over tolerance; gated on the best attempt")
 	flag.Parse()
 
 	var re *regexp.Regexp
@@ -86,8 +90,11 @@ func main() {
 		GoArch: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
 	}
-	for _, c := range benchmarks.Cases() {
+	cases := benchmarks.Cases()
+	caseByName := make(map[string]benchmarks.Case, len(cases))
+	for _, c := range cases {
 		name := c.FullName()
+		caseByName[name] = c
 		if re != nil && !re.MatchString(name) {
 			continue
 		}
@@ -122,13 +129,27 @@ func main() {
 				fmt.Printf("%-45s %14s %14.0f %8s  no baseline, skipped\n", e.Bench, "-", e.NsPerOp, "-")
 				continue
 			}
-			ratio := e.NsPerOp / b.NsPerOp
+			// Gate on the best attempt: re-measure over-tolerance cases so a
+			// one-off scheduling hiccup doesn't read as a regression.
+			best := e.NsPerOp
+			attempts := 1
+			for best/b.NsPerOp > 1+*tolerance && attempts <= *retries {
+				res := testing.Benchmark(caseByName[e.Bench].Bench)
+				attempts++
+				if ns := float64(res.NsPerOp()); ns < best {
+					best = ns
+				}
+			}
+			ratio := best / b.NsPerOp
 			status := "ok"
 			if ratio > 1+*tolerance {
 				status = "REGRESSED"
 				failed++
 			}
-			fmt.Printf("%-45s %14.0f %14.0f %8.2f  %s\n", e.Bench, b.NsPerOp, e.NsPerOp, ratio, status)
+			if attempts > 1 {
+				status += fmt.Sprintf(" (best of %d)", attempts)
+			}
+			fmt.Printf("%-45s %14.0f %14.0f %8.2f  %s\n", e.Bench, b.NsPerOp, best, ratio, status)
 		}
 		// Every baseline benchmark must still exist (modulo -filter): a
 		// silently dropped or renamed case would otherwise un-gate itself.

@@ -20,14 +20,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/cast"
 	"repro/internal/ds"
@@ -52,7 +57,46 @@ func main() {
 		return
 	}
 	log.Printf("serving on %s (max-concurrent=%d)", *addr, *maxConcurrent)
-	log.Fatal(http.ListenAndServe(*addr, serve.NewHandler(svc)))
+	if err := run(*addr, svc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains in-flight requests with
+// http.Server.Shutdown. Broadcast handlers observe the client's request
+// context, so even long demand runs cancel promptly when their client
+// goes away and cannot hold the drain open.
+func run(addr string, svc *serve.Service) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           serve.NewHandler(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bye")
+	return nil
 }
 
 // runSelftest exercises the full serving loop over a real HTTP listener.
@@ -157,6 +201,32 @@ func runSelftest(svc *serve.Service) error {
 	}
 	fmt.Printf("broadcast: %d concurrent demands per pass, replay byte-identical\n", 2*workers*demandsPer)
 
+	// Chaos smoke: a faulted broadcast over HTTP must degrade gracefully
+	// (structured fault accounting, 200 OK) and replay byte-identically.
+	faultReq := serve.BroadcastRequest{
+		Kind: serve.Spanning, Sources: []int{0, 1, 2, 3}, Seed: 11,
+		Fault: &cast.FaultPlan{Round: 1, RandomEdges: 3, Seed: 13},
+	}
+	var fresp, freplay serve.BroadcastResponse
+	if err := post(client, srv.URL+"/v1/graphs/"+info.ID+"/broadcast", faultReq, &fresp); err != nil {
+		return fmt.Errorf("faulted broadcast: %w", err)
+	}
+	if fresp.Fault == nil {
+		return fmt.Errorf("faulted broadcast returned no fault accounting: %+v", fresp)
+	}
+	if f := fresp.Fault.DeliveredFraction; f <= 0 || f > 1 {
+		return fmt.Errorf("faulted broadcast delivered fraction %v out of (0,1]", f)
+	}
+	if err := post(client, srv.URL+"/v1/graphs/"+info.ID+"/broadcast", faultReq, &freplay); err != nil {
+		return fmt.Errorf("faulted replay: %w", err)
+	}
+	if freplay.Result != fresp.Result || *freplay.Fault != *fresp.Fault {
+		return fmt.Errorf("faulted replay diverged: %+v vs %+v", freplay, fresp)
+	}
+	fmt.Printf("chaos: %d edges killed, %d trees surviving, delivered=%.3f retries=%d, replay byte-identical\n",
+		fresp.Fault.FailedEdges, fresp.Fault.TreesSurviving,
+		fresp.Fault.DeliveredFraction, fresp.Fault.Retries)
+
 	// Closed-loop load run through the same (already warm) cache.
 	rep, err := serve.GenerateLoad(svc, serve.LoadConfig{
 		GraphID: info.ID, Kind: serve.Spanning, Workers: 4, Demands: 8, Seed: 5,
@@ -167,11 +237,35 @@ func runSelftest(svc *serve.Service) error {
 	fmt.Printf("load: %d demands, %d workers, %.0f demands/s, %.2f msgs/round\n",
 		rep.Demands, rep.Workers, rep.DemandsPerSec, rep.MsgsPerRound)
 
+	// Chaos load run: every demand faulted, service keeps serving.
+	crep, err := serve.GenerateLoad(svc, serve.LoadConfig{
+		GraphID: info.ID, Kind: serve.Spanning, Workers: 4, Demands: 4, Seed: 6,
+		FaultRate: 1, FaultSeed: 21, FaultEdges: 2,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos load: %w", err)
+	}
+	if crep.FaultedDemands != crep.Demands {
+		return fmt.Errorf("chaos load faulted %d of %d demands, want all", crep.FaultedDemands, crep.Demands)
+	}
+	if crep.DeliveredFraction <= 0 || crep.DeliveredFraction > 1 {
+		return fmt.Errorf("chaos load delivered fraction %v out of (0,1]", crep.DeliveredFraction)
+	}
+	fmt.Printf("chaos load: %d faulted demands, delivered=%.3f retries=%d lost=%d\n",
+		crep.FaultedDemands, crep.DeliveredFraction, crep.Retries, crep.MessagesLost)
+
 	// Final stats audit.
 	st := stats(client, srv.URL)
-	wantReqs := uint64(2*2*workers*demandsPer + rep.Demands)
+	wantReqs := uint64(2*2*workers*demandsPer + 2 + rep.Demands + crep.Demands)
 	if st.Requests != wantReqs {
 		return fmt.Errorf("stats count %d requests, want %d", st.Requests, wantReqs)
+	}
+	wantFaulted := uint64(2 + crep.Demands)
+	if st.FaultedRequests != wantFaulted {
+		return fmt.Errorf("stats count %d faulted requests, want %d", st.FaultedRequests, wantFaulted)
+	}
+	if st.DeliveredFraction <= 0 || st.DeliveredFraction > 1 {
+		return fmt.Errorf("stats delivered fraction %v out of (0,1]", st.DeliveredFraction)
 	}
 	if st.PackComputes != 2 {
 		return fmt.Errorf("stats count %d packings, want 2", st.PackComputes)
@@ -179,9 +273,12 @@ func runSelftest(svc *serve.Service) error {
 	if st.Graphs != 1 || len(st.PerGraph) != 1 || st.PerGraph[0].Requests != wantReqs {
 		return fmt.Errorf("per-graph stats wrong: %+v", st)
 	}
-	fmt.Printf("stats: %d requests, %d rounds, %d/%d pack computes/requests, max congestion v=%d e=%d\n",
-		st.Requests, st.Rounds, st.PackComputes, st.PackRequests,
-		st.MaxVertexCongestion, st.MaxEdgeCongestion)
+	if st.PerGraph[0].FaultedRequests != wantFaulted {
+		return fmt.Errorf("per-graph faulted count %d, want %d", st.PerGraph[0].FaultedRequests, wantFaulted)
+	}
+	fmt.Printf("stats: %d requests (%d faulted), %d rounds, %d/%d pack computes/requests, max congestion v=%d e=%d, delivered=%.3f\n",
+		st.Requests, st.FaultedRequests, st.Rounds, st.PackComputes, st.PackRequests,
+		st.MaxVertexCongestion, st.MaxEdgeCongestion, st.DeliveredFraction)
 	return nil
 }
 

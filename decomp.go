@@ -86,6 +86,17 @@ type Demand = cast.Demand
 // parallel with results byte-identical to serial runs.
 type Scheduler = cast.Scheduler
 
+// FaultPlan describes a deterministic failure scenario for
+// Scheduler.RunFaulted: explicit and/or PCG-seeded random edge and
+// vertex kills applied from a chosen round, with a bounded per-message
+// reroute budget over the surviving trees.
+type FaultPlan = cast.FaultPlan
+
+// FaultResult is a faulted run's outcome: the usual BroadcastResult
+// plus delivered-fraction, per-tree survival, and retry/round-overhead
+// accounting. Partial delivery is reported here, never as an error.
+type FaultResult = cast.FaultResult
+
 // Options configures the packing algorithms; the zero value uses the
 // defaults the experiments were calibrated with. Use the With* helpers.
 type Options struct {

@@ -327,7 +327,69 @@ func E6Parallel() []Case {
 	return cases
 }
 
-// Cases returns every E1–E6 workload in experiment order.
+// E7Faulted sweeps seeded edge failures over the E5 decomposition from
+// 0 up to (and past) the connectivity bound λ=15, measuring what the
+// packing was built for: delivered fraction (≈1.0 below the bound,
+// graceful degradation beyond) and the round overhead the surviving-
+// tree reroute pass pays for it. The scheduler handle is built outside
+// the timed region; each iteration is one faulted demand run.
+func E7Faulted() []Case {
+	const seeds = 8
+	g := graph.Complete(16) // λ = 15
+	var cases []Case
+	for _, kills := range []int{0, 5, 10, 15, 40, 80} {
+		kills := kills
+		cases = append(cases, Case{
+			ID:   "E7FaultedBroadcast",
+			Name: fmt.Sprintf("kill%d", kills),
+			Bench: func(b *testing.B) {
+				p, err := decomp.PackSpanningTrees(g, decomp.WithSeed(1), decomp.WithKnownConnectivity(15))
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := decomp.NewEdgeBroadcastScheduler(g, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := decomp.Demand{Sources: decomp.UniformSources(g.N(), 4*g.N(), 3)}
+				// Healthy round baseline for the same demand sequence,
+				// outside the timed region.
+				healthy := make([]int, seeds)
+				for i := range healthy {
+					res, err := s.Run(d, uint64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					healthy[i] = res.Rounds
+				}
+				b.ResetTimer()
+				var fraction, overhead, retries float64
+				for i := 0; i < b.N; i++ {
+					fraction, overhead, retries = 0, 0, 0
+					for seed := uint64(0); seed < seeds; seed++ {
+						plan := decomp.FaultPlan{Round: 1, RandomEdges: kills, Seed: 100 + seed, MaxRetries: 2}
+						res, err := s.RunFaulted(d, seed, plan)
+						if err != nil {
+							b.Fatal(err)
+						}
+						fraction += res.DeliveredFraction
+						overhead += float64(res.Rounds) / float64(healthy[seed])
+						retries += float64(res.Retries)
+					}
+				}
+				// Means over the fixed seed set, so the reported metrics
+				// are independent of b.N.
+				b.ReportMetric(fraction/seeds, "delivered-fraction")
+				b.ReportMetric(overhead/seeds, "round-overhead")
+				b.ReportMetric(retries/seeds, "retries")
+				b.ReportMetric(seeds, "demands/op")
+			},
+		})
+	}
+	return cases
+}
+
+// Cases returns every E1–E7 workload in experiment order.
 func Cases() []Case {
 	var all []Case
 	all = append(all, E1()...)
@@ -336,5 +398,6 @@ func Cases() []Case {
 	all = append(all, E3Dist(), E4(), E5())
 	all = append(all, E5Steady()...)
 	all = append(all, E6Parallel()...)
+	all = append(all, E7Faulted()...)
 	return all
 }

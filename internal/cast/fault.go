@@ -1,0 +1,674 @@
+// Fault injection for the broadcast Scheduler: the paper's whole point
+// is information flow *matching connectivity* — a fractionally disjoint
+// tree packing means broadcast traffic survives edge and vertex
+// failures up to the connectivity bound — and this file is where that
+// claim is exercised. A FaultPlan kills a deterministic (seeded) set of
+// edges and/or vertices at a chosen round; RunFaulted replays the exact
+// healthy schedule until the failure round, stops dead elements from
+// carrying messages after it, and reroutes undelivered messages over
+// the surviving trees with a bounded per-message retry budget. The
+// result reports delivered fraction, per-tree survival, and the round
+// overhead paid for rerouting — a faulted run never errors because of
+// delivery shortfalls; partial delivery is a structured result.
+//
+// Everything is deterministic: the demand's tree assignment draws the
+// same PCG stream as Run, the fault set is derived from the plan's own
+// seed, and retries pick surviving trees by index arithmetic — so a
+// faulted run is byte-identical across a Scheduler and its Clone, and a
+// plan that never triggers (failure round beyond completion, nothing
+// killed) reproduces Run's Result field for field.
+package cast
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ds"
+	"repro/internal/sim"
+)
+
+// FaultPlan describes one deterministic failure scenario.
+type FaultPlan struct {
+	// Round is the failure round: transmissions in rounds >= Round no
+	// longer cross dead edges or involve dead vertices. Round 0 kills
+	// everything in the plan before the first transmission.
+	Round int `json:"round"`
+	// Edges and Vertices are killed outright (edge ids / vertex ids of
+	// the scheduler's graph).
+	Edges    []int `json:"edges,omitempty"`
+	Vertices []int `json:"vertices,omitempty"`
+	// RandomEdges and RandomVertices kill that many additional distinct
+	// elements, drawn from a PCG seeded with Seed — a plan is replayable
+	// from (graph, plan) alone. Vertices are drawn before edges.
+	RandomEdges    int    `json:"random_edges,omitempty"`
+	RandomVertices int    `json:"random_vertices,omitempty"`
+	Seed           uint64 `json:"seed,omitempty"`
+	// MaxRetries bounds how many times one undelivered message may be
+	// rerouted over a surviving tree before it is given up as lost.
+	// Zero means the default (2); negative disables retries.
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// defaultFaultRetries is the reroute budget when the plan leaves
+// MaxRetries at zero.
+const defaultFaultRetries = 2
+
+func (p FaultPlan) retries() int {
+	switch {
+	case p.MaxRetries > 0:
+		return p.MaxRetries
+	case p.MaxRetries < 0:
+		return 0
+	default:
+		return defaultFaultRetries
+	}
+}
+
+// active reports whether the plan kills anything at all.
+func (p FaultPlan) active() bool {
+	return len(p.Edges)+len(p.Vertices)+p.RandomEdges+p.RandomVertices > 0
+}
+
+// FaultResult is a faulted run's outcome: the usual scheduling Result
+// plus the fault accounting. All fields are scalars, so two results
+// compare with ==.
+type FaultResult struct {
+	Result
+
+	// FailedEdges and FailedVertices count the elements the plan killed
+	// (explicit plus random; edges dead only via a dead endpoint are not
+	// double-counted here).
+	FailedEdges    int
+	FailedVertices int
+	// TreesSurviving counts decomposition trees untouched by the fault
+	// set: no dead member vertex and no dead usable edge. Retries route
+	// over exactly these trees (falling back to damaged trees only when
+	// none survive).
+	TreesSurviving int
+	// PairsExpected is the delivery target: messages × surviving
+	// vertices. PairsDelivered is how many of those (message, vertex)
+	// deliveries were achieved; DeliveredFraction their ratio.
+	PairsExpected     int
+	PairsDelivered    int
+	DeliveredFraction float64
+	// MessagesDelivered counts messages that reached every surviving
+	// vertex; MessagesLost the ones given up after the retry budget.
+	MessagesDelivered int
+	MessagesLost      int
+	// Retries counts per-message reroutes over surviving trees;
+	// RetryRounds the rounds spent after the first reroute (the round
+	// overhead of fault recovery, included in Rounds).
+	Retries     int
+	RetryRounds int
+}
+
+// faultBuffers is the per-handle scratch of the faulted scheduler,
+// grown once and reused across RunFaulted calls (clones allocate their
+// own lazily, so faulted runs stay concurrent-safe across clones).
+type faultBuffers struct {
+	deadV     []bool
+	deadE     []bool
+	deadVIDs  []int32
+	deadEIDs  []int32
+	liveTrees []int32
+	liveMask  []uint64 // live-vertex bitmask, one stride row
+	has       []uint64 // nMsgs × stride delivery grid
+	queued    []uint64 // vertex model: nMsgs × stride ever-queued grid
+	queues    [][]int32
+	qhead     []int32
+	attempts  []int32
+	vcong     []int32
+	econg     []int32
+	sends     []vtx
+	esends    []esend
+}
+
+type esend struct {
+	dir int32
+	msg int32
+}
+
+// RunFaulted runs the demand under the fault plan; see RunFaultedContext.
+func (s *Scheduler) RunFaulted(demand Demand, seed uint64, plan FaultPlan) (FaultResult, error) {
+	return s.RunFaultedContext(context.Background(), demand, seed, plan)
+}
+
+// RunFaultedContext disseminates the demand exactly as Run would for
+// the same seed until the plan's failure round, then applies the fault
+// set: dead edges and arcs incident to dead vertices stop carrying
+// messages, dead vertices stop transmitting and no longer count as
+// delivery targets, and once the flood stalls each undelivered message
+// is rerouted over a surviving tree (bounded retries; exhausted budget
+// counts the message as lost). Partial delivery is a structured result,
+// never an error — errors are reserved for empty demands, invalid
+// plans, and context cancellation.
+func (s *Scheduler) RunFaultedContext(ctx context.Context, demand Demand, seed uint64, plan FaultPlan) (FaultResult, error) {
+	if len(demand.Sources) == 0 {
+		return FaultResult{}, fmt.Errorf("cast: empty demand")
+	}
+	fb, err := s.prepareFaults(plan)
+	if err != nil {
+		return FaultResult{}, err
+	}
+	ds.Reseed(s.pcg, seed)
+	s.assignDemand(len(demand.Sources))
+	if s.core.model == sim.VCongest {
+		return s.runVertexFaulted(ctx, fb, demand, plan)
+	}
+	return s.runEdgeFaulted(ctx, fb, demand, plan)
+}
+
+// prepareFaults validates the plan and materializes the fault set:
+// explicit kills, then seeded random draws (vertices before edges, so
+// either count alone replays the same stream prefix), then the list of
+// trees that survive untouched.
+func (s *Scheduler) prepareFaults(plan FaultPlan) (*faultBuffers, error) {
+	g := s.core.g
+	n, m := g.N(), g.M()
+	if plan.Round < 0 {
+		return nil, fmt.Errorf("cast: fault round %d < 0", plan.Round)
+	}
+	if plan.RandomEdges < 0 || plan.RandomVertices < 0 {
+		return nil, fmt.Errorf("cast: negative random fault counts (%d edges, %d vertices)", plan.RandomEdges, plan.RandomVertices)
+	}
+	if s.fbuf == nil {
+		s.fbuf = &faultBuffers{}
+	}
+	fb := s.fbuf
+	fb.deadV = growClear(fb.deadV, n)
+	fb.deadE = growClear(fb.deadE, m)
+	fb.deadVIDs, fb.deadEIDs = fb.deadVIDs[:0], fb.deadEIDs[:0]
+	for _, v := range plan.Vertices {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("cast: fault vertex %d out of range [0,%d)", v, n)
+		}
+		if !fb.deadV[v] {
+			fb.deadV[v] = true
+			fb.deadVIDs = append(fb.deadVIDs, int32(v))
+		}
+	}
+	for _, e := range plan.Edges {
+		if e < 0 || e >= m {
+			return nil, fmt.Errorf("cast: fault edge %d out of range [0,%d)", e, m)
+		}
+		if !fb.deadE[e] {
+			fb.deadE[e] = true
+			fb.deadEIDs = append(fb.deadEIDs, int32(e))
+		}
+	}
+	if plan.RandomVertices > 0 || plan.RandomEdges > 0 {
+		rng := ds.NewRand(plan.Seed)
+		for k := 0; k < plan.RandomVertices && len(fb.deadVIDs) < n; {
+			v := rng.IntN(n)
+			if !fb.deadV[v] {
+				fb.deadV[v] = true
+				fb.deadVIDs = append(fb.deadVIDs, int32(v))
+				k++
+			}
+		}
+		for k := 0; k < plan.RandomEdges && len(fb.deadEIDs) < m; {
+			e := rng.IntN(m)
+			if !fb.deadE[e] {
+				fb.deadE[e] = true
+				fb.deadEIDs = append(fb.deadEIDs, int32(e))
+				k++
+			}
+		}
+	}
+	fb.liveTrees = fb.liveTrees[:0]
+	for ti := range s.core.trees {
+		if s.treeSurvives(ti, fb) {
+			fb.liveTrees = append(fb.liveTrees, int32(ti))
+		}
+	}
+	return fb, nil
+}
+
+// treeSurvives reports whether tree ti is untouched by the fault set:
+// no member vertex is dead and no edge it could route over is dead. In
+// E-CONGEST the routed edges are exactly the tree edges; in V-CONGEST a
+// member's transmission crosses every edge between members, so any dead
+// member-member edge disqualifies (a conservative test — the flood may
+// still succeed around it).
+func (s *Scheduler) treeSurvives(ti int, fb *faultBuffers) bool {
+	if s.core.es != nil {
+		// Spanning trees contain every vertex, so any dead vertex kills
+		// every tree.
+		if len(fb.deadVIDs) > 0 {
+			return false
+		}
+		erow := s.core.es.treeEdges[ti*s.core.es.ewords : (ti+1)*s.core.es.ewords]
+		for _, e := range fb.deadEIDs {
+			if erow[e>>6]&(1<<(uint(e)&63)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	member := s.core.vs.member[ti]
+	for _, v := range fb.deadVIDs {
+		if member.Has(int(v)) {
+			return false
+		}
+	}
+	for _, e := range fb.deadEIDs {
+		u, w := s.core.g.Endpoints(int(e))
+		if member.Has(u) && member.Has(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// runVertexFaulted is the fault-aware V-CONGEST flood. It mirrors
+// runVertex round for round (two-phase: collect one transmission per
+// queued vertex in ascending order, then process them in order) with
+// three differences: dead vertices stop transmitting and receiving from
+// the failure round, transmissions stop crossing dead edges, and a
+// stalled flood triggers the reroute pass instead of an error.
+func (s *Scheduler) runVertexFaulted(ctx context.Context, fb *faultBuffers, demand Demand, plan FaultPlan) (FaultResult, error) {
+	vs := s.core.vs
+	g := s.core.g
+	n, nMsgs, stride := g.N(), len(demand.Sources), vs.stride
+	res := FaultResult{Result: Result{TreeLoad: int(maxOf32(s.msgsPerTree)), SetupRounds: 1}}
+	res.FailedVertices, res.FailedEdges = len(fb.deadVIDs), len(fb.deadEIDs)
+	res.TreesSurviving = len(fb.liveTrees)
+
+	fb.liveMask = growClear(fb.liveMask, stride)
+	nLive := 0
+	for v := 0; v < n; v++ {
+		if !fb.deadV[v] {
+			fb.liveMask[v>>6] |= 1 << (uint(v) & 63)
+			nLive++
+		}
+	}
+	expected := nMsgs * nLive
+	res.PairsExpected = expected
+
+	fb.has = growClear(fb.has, nMsgs*stride)
+	fb.queued = growClear(fb.queued, nMsgs*stride)
+	fb.queues = growQueues(fb.queues, n)
+	fb.qhead = growClear(fb.qhead, n)
+	fb.attempts = growClear(fb.attempts, nMsgs)
+	fb.vcong = growClear(fb.vcong, n)
+
+	// Injection, exactly as the healthy scheduler: each source holds its
+	// message and queues one transmission of it.
+	delivered := 0
+	for msg, src := range demand.Sources {
+		bit := uint64(1) << (uint(src) & 63)
+		fb.has[msg*stride+src>>6] |= bit
+		if !fb.deadV[src] {
+			delivered++
+		}
+		if fb.queued[msg*stride+src>>6]&bit == 0 {
+			fb.queued[msg*stride+src>>6] |= bit
+			fb.queues[src] = append(fb.queues[src], int32(msg))
+		}
+	}
+
+	maxRetries := plan.retries()
+	// reroute reseeds one undelivered message onto a (preferably
+	// surviving) tree: all live holders re-queue it and the queued grid
+	// resets to exactly that holder set, so the new tree's members
+	// forward it as a fresh multi-source flood.
+	firstRetryRounds := -1
+	reroute := func() bool {
+		did := false
+		for msg := 0; msg < nMsgs; msg++ {
+			hrow := fb.has[msg*stride : (msg+1)*stride]
+			missing, holders := false, false
+			for j, live := range fb.liveMask {
+				if live&^hrow[j] != 0 {
+					missing = true
+				}
+				if live&hrow[j] != 0 {
+					holders = true
+				}
+			}
+			if !missing || int(fb.attempts[msg]) >= maxRetries {
+				continue
+			}
+			if !holders {
+				// No surviving copy exists (e.g. the source died at round
+				// 0): nothing to reroute, the message is lost outright.
+				fb.attempts[msg] = int32(maxRetries)
+				continue
+			}
+			s.assign[msg] = s.retryTree(msg, int(fb.attempts[msg]), fb)
+			fb.attempts[msg]++
+			res.Retries++
+			qrow := fb.queued[msg*stride : (msg+1)*stride]
+			for j := range qrow {
+				hold := hrow[j] & fb.liveMask[j]
+				qrow[j] = hold
+				for ; hold != 0; hold &= hold - 1 {
+					v := j<<6 + bits.TrailingZeros64(hold)
+					fb.queues[v] = append(fb.queues[v], int32(msg))
+				}
+			}
+			did = true
+		}
+		if did && firstRetryRounds < 0 {
+			firstRetryRounds = res.Rounds
+		}
+		return did
+	}
+
+	done := ctx.Done()
+	maxRounds := 4 * (nMsgs + n) * (len(s.core.trees) + 2) * (maxRetries + 2)
+	sends := fb.sends[:0]
+	for round := 0; delivered < expected; {
+		if done != nil {
+			select {
+			case <-done:
+				fb.sends = sends
+				return res, ctx.Err()
+			default:
+			}
+		}
+		faulty := round >= plan.Round
+		sends = sends[:0]
+		for v := 0; v < n; v++ {
+			if faulty && fb.deadV[v] {
+				continue
+			}
+			if int(fb.qhead[v]) == len(fb.queues[v]) {
+				continue
+			}
+			m := fb.queues[v][fb.qhead[v]]
+			fb.qhead[v]++
+			sends = append(sends, vtx{v, m})
+		}
+		if len(sends) == 0 {
+			if !reroute() {
+				break
+			}
+			continue
+		}
+		if round >= maxRounds {
+			break
+		}
+		res.Rounds++
+		round++
+		for _, t := range sends {
+			fb.vcong[t.v]++
+			msg := int(t.m)
+			hrow := fb.has[msg*stride : (msg+1)*stride]
+			qrow := fb.queued[msg*stride : (msg+1)*stride]
+			member := vs.member[s.assign[msg]].Words()
+			nbrs := g.Neighbors(t.v)
+			eids := g.IncidentEdges(t.v)
+			for i, w32 := range nbrs {
+				w := int(w32)
+				if faulty && (fb.deadE[eids[i]] || fb.deadV[w]) {
+					continue
+				}
+				wi, bit := w>>6, uint64(1)<<(uint(w)&63)
+				if hrow[wi]&bit == 0 {
+					hrow[wi] |= bit
+					if fb.liveMask[wi]&bit != 0 {
+						delivered++
+					}
+				}
+				if member[wi]&bit != 0 && qrow[wi]&bit == 0 {
+					qrow[wi] |= bit
+					fb.queues[w] = append(fb.queues[w], t.m)
+				}
+			}
+		}
+	}
+	fb.sends = sends
+
+	s.finishFaulted(&res, fb, nMsgs, stride, delivered, expected, firstRetryRounds)
+	res.MaxVertexCongestion = int(maxOf32(fb.vcong))
+	// Same derivation as the healthy scheduler: every transmission by a
+	// node crosses each incident edge once (for dead edges this is the
+	// healthy-equivalent upper bound, kept so a never-triggering plan
+	// reproduces Run's meters exactly).
+	maxEdge := int32(0)
+	for _, e := range g.Edges() {
+		if c := fb.vcong[e.U] + fb.vcong[e.V]; c > maxEdge {
+			maxEdge = c
+		}
+	}
+	res.MaxEdgeCongestion = int(maxEdge)
+	return res, nil
+}
+
+// runEdgeFaulted is the fault-aware E-CONGEST pipeline. It mirrors
+// runEdge round for round (pop the FIFO head of every arc live at round
+// start in ascending directed-edge order, then relay in that order),
+// except that arcs on dead edges or incident to dead vertices stop
+// transmitting from the failure round, deliveries are deduplicated per
+// (message, vertex) — reroutes may revisit — and a stalled pipeline
+// triggers the reroute pass instead of an error.
+func (s *Scheduler) runEdgeFaulted(ctx context.Context, fb *faultBuffers, demand Demand, plan FaultPlan) (FaultResult, error) {
+	es := s.core.es
+	g := s.core.g
+	n, m, nMsgs := g.N(), g.M(), len(demand.Sources)
+	nArcs := 2 * m
+	stride := (n + 63) / 64
+	res := FaultResult{Result: Result{TreeLoad: int(maxOf32(s.msgsPerTree))}}
+	res.FailedVertices, res.FailedEdges = len(fb.deadVIDs), len(fb.deadEIDs)
+	res.TreesSurviving = len(fb.liveTrees)
+
+	fb.liveMask = growClear(fb.liveMask, stride)
+	nLive := 0
+	for v := 0; v < n; v++ {
+		if !fb.deadV[v] {
+			fb.liveMask[v>>6] |= 1 << (uint(v) & 63)
+			nLive++
+		}
+	}
+	expected := nMsgs * nLive
+	res.PairsExpected = expected
+
+	fb.has = growClear(fb.has, nMsgs*stride)
+	fb.queues = growQueues(fb.queues, nArcs)
+	fb.qhead = growClear(fb.qhead, nArcs)
+	fb.attempts = growClear(fb.attempts, nMsgs)
+	fb.vcong = growClear(fb.vcong, n)
+	fb.econg = growClear(fb.econg, m)
+
+	// Injection: the source holds its message and queues it on every arc
+	// of its tree, as in the healthy scheduler.
+	delivered := 0
+	enqueueAt := func(msg int, v int, skipEdge int32) {
+		ti := int(s.assign[msg])
+		off := es.offBack[ti*(n+1):]
+		base := es.abase[ti]
+		for _, adir := range es.arcBack[base+off[v] : base+off[v+1]] {
+			if adir>>1 == skipEdge {
+				continue
+			}
+			fb.queues[adir] = append(fb.queues[adir], int32(msg))
+		}
+	}
+	for msg, src := range demand.Sources {
+		bit := uint64(1) << (uint(src) & 63)
+		fb.has[msg*stride+src>>6] |= bit
+		if !fb.deadV[src] {
+			delivered++
+		}
+		enqueueAt(msg, src, -1)
+	}
+
+	maxRetries := plan.retries()
+	firstRetryRounds := -1
+	// reroute reseeds one undelivered message onto a (preferably
+	// surviving) tree: every live holder re-queues it on all of the new
+	// tree's arcs at that holder; receivers that already hold the
+	// message absorb it without relaying, so the re-flood terminates.
+	reroute := func() bool {
+		did := false
+		for msg := 0; msg < nMsgs; msg++ {
+			hrow := fb.has[msg*stride : (msg+1)*stride]
+			missing, holders := false, false
+			for j, live := range fb.liveMask {
+				if live&^hrow[j] != 0 {
+					missing = true
+				}
+				if live&hrow[j] != 0 {
+					holders = true
+				}
+			}
+			if !missing || int(fb.attempts[msg]) >= maxRetries {
+				continue
+			}
+			if !holders {
+				fb.attempts[msg] = int32(maxRetries)
+				continue
+			}
+			s.assign[msg] = s.retryTree(msg, int(fb.attempts[msg]), fb)
+			fb.attempts[msg]++
+			res.Retries++
+			for j, live := range fb.liveMask {
+				for hold := hrow[j] & live; hold != 0; hold &= hold - 1 {
+					v := j<<6 + bits.TrailingZeros64(hold)
+					enqueueAt(msg, v, -1)
+				}
+			}
+			did = true
+		}
+		if did && firstRetryRounds < 0 {
+			firstRetryRounds = res.Rounds
+		}
+		return did
+	}
+
+	done := ctx.Done()
+	maxRounds := 4 * (nMsgs + n) * (len(s.core.trees) + 2) * (maxRetries + 2)
+	esends := fb.esends[:0]
+	for round := 0; delivered < expected; {
+		if done != nil {
+			select {
+			case <-done:
+				fb.esends = esends
+				return res, ctx.Err()
+			default:
+			}
+		}
+		faulty := round >= plan.Round
+		esends = esends[:0]
+		for dir := 0; dir < nArcs; dir++ {
+			if int(fb.qhead[dir]) == len(fb.queues[dir]) {
+				continue
+			}
+			if faulty {
+				if fb.deadE[dir>>1] || fb.deadV[es.headOf[dir]] || fb.deadV[es.headOf[dir^1]] {
+					continue
+				}
+			}
+			msg := fb.queues[dir][fb.qhead[dir]]
+			fb.qhead[dir]++
+			esends = append(esends, esend{int32(dir), msg})
+		}
+		if len(esends) == 0 {
+			if !reroute() {
+				break
+			}
+			continue
+		}
+		if round >= maxRounds {
+			break
+		}
+		res.Rounds++
+		round++
+		for _, t := range esends {
+			dir := int(t.dir)
+			msg := int(t.msg)
+			eid := int32(dir) >> 1
+			fb.vcong[es.headOf[dir^1]]++
+			fb.econg[eid]++
+			v := int(es.headOf[dir])
+			wi, bit := v>>6, uint64(1)<<(uint(v)&63)
+			hrow := fb.has[msg*stride : (msg+1)*stride]
+			if hrow[wi]&bit != 0 {
+				continue // already held (reroute overlap): absorb, no relay
+			}
+			hrow[wi] |= bit
+			if fb.liveMask[wi]&bit != 0 {
+				delivered++
+			}
+			enqueueAt(msg, v, eid)
+		}
+	}
+	fb.esends = esends
+
+	s.finishFaulted(&res, fb, nMsgs, stride, delivered, expected, firstRetryRounds)
+	res.MaxVertexCongestion = int(maxOf32(fb.vcong))
+	res.MaxEdgeCongestion = int(maxOf32(fb.econg))
+	return res, nil
+}
+
+// retryTree picks the tree for a message's attempt-th reroute: round-
+// robin over the surviving trees (so retried messages spread instead of
+// piling onto one tree), skipping the current assignment when another
+// choice exists, falling back to the full tree list when nothing
+// survives untouched — a damaged tree still reaches its fragment.
+func (s *Scheduler) retryTree(msg, attempt int, fb *faultBuffers) int32 {
+	if len(fb.liveTrees) > 0 {
+		idx := (msg + attempt) % len(fb.liveTrees)
+		ti := fb.liveTrees[idx]
+		if ti == s.assign[msg] && len(fb.liveTrees) > 1 {
+			ti = fb.liveTrees[(idx+1)%len(fb.liveTrees)]
+		}
+		return ti
+	}
+	t := len(s.core.trees)
+	idx := (msg + attempt) % t
+	if int32(idx) == s.assign[msg] && t > 1 {
+		idx = (idx + 1) % t
+	}
+	return int32(idx)
+}
+
+// finishFaulted fills the delivery accounting shared by both models.
+func (s *Scheduler) finishFaulted(res *FaultResult, fb *faultBuffers, nMsgs, stride, delivered, expected, firstRetryRounds int) {
+	lost := 0
+	for msg := 0; msg < nMsgs; msg++ {
+		hrow := fb.has[msg*stride : (msg+1)*stride]
+		for j, live := range fb.liveMask {
+			if live&^hrow[j] != 0 {
+				lost++
+				break
+			}
+		}
+	}
+	res.MessagesLost = lost
+	res.MessagesDelivered = nMsgs - lost
+	res.PairsDelivered = delivered
+	if expected > 0 {
+		res.DeliveredFraction = float64(delivered) / float64(expected)
+	}
+	if firstRetryRounds >= 0 {
+		res.RetryRounds = res.Rounds - firstRetryRounds
+	}
+	res.Throughput = float64(nMsgs) / float64(max(res.Rounds, 1))
+}
+
+// growClear returns s with length n and every element zeroed, reusing
+// capacity when possible.
+func growClear[T bool | int32 | uint64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// growQueues returns q with length n and every queue emptied, keeping
+// each queue's capacity.
+func growQueues(q [][]int32, n int) [][]int32 {
+	for len(q) < n {
+		q = append(q, nil)
+	}
+	q = q[:n]
+	for i := range q {
+		q[i] = q[i][:0]
+	}
+	return q
+}

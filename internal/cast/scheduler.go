@@ -16,6 +16,7 @@
 package cast
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand/v2"
@@ -50,6 +51,8 @@ type Scheduler struct {
 
 	vb *vertexBuffers // V-CONGEST run buffers, nil in E-CONGEST
 	eb *edgeBuffers   // E-CONGEST run buffers, nil in V-CONGEST
+
+	fbuf *faultBuffers // fault-injection scratch, allocated on first RunFaulted
 }
 
 // schedCore is the demand-independent, read-only half of a Scheduler:
@@ -212,15 +215,24 @@ func (s *Scheduler) NumTrees() int { return len(s.core.trees) }
 // along a randomly chosen tree of the decomposition, exactly as
 // Broadcast would with the same seed, reusing the handle's buffers.
 func (s *Scheduler) Run(demand Demand, seed uint64) (Result, error) {
+	return s.RunContext(context.Background(), demand, seed)
+}
+
+// RunContext is Run with cooperative cancellation: the round loop
+// checks ctx between rounds and returns ctx's error as soon as it is
+// done, leaving the handle reusable (every Run clears its buffers on
+// entry). With context.Background() the check compiles to nothing —
+// a nil done channel is never selected on.
+func (s *Scheduler) RunContext(ctx context.Context, demand Demand, seed uint64) (Result, error) {
 	if len(demand.Sources) == 0 {
 		return Result{}, fmt.Errorf("cast: empty demand")
 	}
 	ds.Reseed(s.pcg, seed)
 	s.assignDemand(len(demand.Sources))
 	if s.core.model == sim.VCongest {
-		return s.runVertex(demand)
+		return s.runVertex(ctx, demand)
 	}
-	return s.runEdge(demand)
+	return s.runEdge(ctx, demand)
 }
 
 // assignDemand routes each message to a tree with probability
@@ -280,7 +292,7 @@ func newVertexCore(g *graph.Graph, trees []WeightedTree) *vertexCore {
 // fresh deliveries by popcount, and derives the forwarding set as
 // neighbors ∧ members ∧ ¬queued — identical, transmission for
 // transmission, to the scalar per-neighbor loop it replaces.
-func (s *Scheduler) runVertex(demand Demand) (Result, error) {
+func (s *Scheduler) runVertex(ctx context.Context, demand Demand) (Result, error) {
 	vs := s.core.vs
 	vb := s.vb
 	n := s.core.g.N()
@@ -325,8 +337,17 @@ func (s *Scheduler) runVertex(demand Demand) (Result, error) {
 	remaining := n*nMsgs - nMsgs
 
 	sends := vb.sends[:0]
+	done := ctx.Done()
 	maxRounds := 4 * (nMsgs + n) * (len(s.core.trees) + 2)
 	for round := 0; remaining > 0; round++ {
+		if done != nil {
+			select {
+			case <-done:
+				vb.sends = sends
+				return res, ctx.Err()
+			default:
+			}
+		}
 		if round >= maxRounds {
 			vb.sends = sends
 			return res, fmt.Errorf("cast: vertex scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
@@ -452,7 +473,7 @@ func newEdgeCore(g *graph.Graph, trees []WeightedTree) *edgeCore {
 // popcount-style bit sweep per used tree) and per-vertex loads from the
 // CSR arc offsets — identical, transmission for transmission, to the
 // scalar counters they replace.
-func (s *Scheduler) runEdge(demand Demand) (Result, error) {
+func (s *Scheduler) runEdge(ctx context.Context, demand Demand) (Result, error) {
 	es := s.core.es
 	eb := s.eb
 	n := s.core.g.N()
@@ -532,8 +553,16 @@ func (s *Scheduler) runEdge(demand Demand) (Result, error) {
 		}
 	}
 
+	done := ctx.Done()
 	maxRounds := 4 * (nMsgs + n) * (len(s.core.trees) + 2)
 	for round := 0; remaining > 0; round++ {
+		if done != nil {
+			select {
+			case <-done:
+				return res, ctx.Err()
+			default:
+			}
+		}
 		if round >= maxRounds {
 			return res, fmt.Errorf("cast: edge scheduler stalled after %d rounds (%d deliveries missing)", round, remaining)
 		}

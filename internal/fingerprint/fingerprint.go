@@ -31,6 +31,7 @@ func Text() string {
 	packingFingerprints(&b)
 	spanningFingerprints(&b)
 	broadcastFingerprints(&b)
+	faultFingerprints(&b)
 	return b.String()
 }
 
@@ -180,5 +181,69 @@ func broadcastFingerprints(b *strings.Builder) {
 			panic(err)
 		}
 		fmt.Fprintf(b, "G seed=%d res=%+v\n", seed, res)
+	}
+}
+
+// faultFingerprints pins the fault-injection scheduler (F lines): each
+// line is one faulted run over a fixed decomposition, executed through
+// both a Scheduler handle and its Clone — a divergence panics rather
+// than fingerprinting garbage, so the clone-parity guarantee of faulted
+// runs is enforced right here. Healthy lines above must not move when
+// fault behavior changes, and vice versa.
+func faultFingerprints(b *strings.Builder) {
+	runBoth := func(s *decomp.Scheduler, srcs []int, seed uint64, plan decomp.FaultPlan) decomp.FaultResult {
+		res, err := s.RunFaulted(decomp.Demand{Sources: srcs}, seed, plan)
+		if err != nil {
+			panic(err)
+		}
+		cres, err := s.Clone().RunFaulted(decomp.Demand{Sources: srcs}, seed, plan)
+		if err != nil {
+			panic(err)
+		}
+		if res != cres {
+			panic(fmt.Sprintf("fault fingerprint: clone diverged: %+v vs %+v", res, cres))
+		}
+		return res
+	}
+
+	// E-CONGEST over the same K16 spanning packing as the E lines: an
+	// edge-kill sweep from well below the connectivity bound (λ=15) to
+	// beyond it.
+	k := decomp.Complete(16)
+	sp, err := decomp.PackSpanningTrees(k, decomp.WithSeed(1), decomp.WithKnownConnectivity(15))
+	if err != nil {
+		panic(err)
+	}
+	es, err := decomp.NewEdgeBroadcastScheduler(k, sp)
+	if err != nil {
+		panic(err)
+	}
+	ksrcs := decomp.UniformSources(k.N(), 4*k.N(), 3)
+	for _, kills := range []int{2, 6, 14} {
+		for seed := uint64(0); seed < 2; seed++ {
+			plan := decomp.FaultPlan{Round: 1, RandomEdges: kills, Seed: 40 + seed, MaxRetries: 2}
+			res := runBoth(es, ksrcs, seed, plan)
+			fmt.Fprintf(b, "F E K16 kill=%d seed=%d res=%+v\n", kills, seed, res)
+		}
+	}
+
+	// V-CONGEST over the same ham-cycles expander family as the G lines:
+	// mixed vertex+edge kills against the dominating-tree packing.
+	gg := decomp.RandomHamCycles(128, 12, 3)
+	gp, err := decomp.PackDominatingTrees(gg, decomp.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	vs, err := decomp.NewBroadcastScheduler(gg, gp)
+	if err != nil {
+		panic(err)
+	}
+	vsrcs := decomp.UniformSources(gg.N(), 2*gg.N(), 3)
+	for _, kill := range []struct{ v, e int }{{1, 2}, {3, 6}, {6, 12}} {
+		for seed := uint64(0); seed < 2; seed++ {
+			plan := decomp.FaultPlan{Round: 1, RandomVertices: kill.v, RandomEdges: kill.e, Seed: 60 + seed, MaxRetries: 2}
+			res := runBoth(vs, vsrcs, seed, plan)
+			fmt.Fprintf(b, "F V ham128 killv=%d kille=%d seed=%d res=%+v\n", kill.v, kill.e, seed, res)
+		}
 	}
 }

@@ -34,19 +34,38 @@ type DecomposeRequest struct {
 	Kind Kind `json:"kind"`
 }
 
-// BroadcastRequest is the POST /v1/graphs/{id}/broadcast payload.
+// BroadcastRequest is the POST /v1/graphs/{id}/broadcast payload. A
+// non-nil Fault runs the demand under that fault plan (chaos mode) and
+// the response carries the fault accounting.
 type BroadcastRequest struct {
-	Kind    Kind   `json:"kind"`
-	Sources []int  `json:"sources"`
-	Seed    uint64 `json:"seed"`
+	Kind    Kind            `json:"kind"`
+	Sources []int           `json:"sources"`
+	Seed    uint64          `json:"seed"`
+	Fault   *cast.FaultPlan `json:"fault,omitempty"`
 }
 
-// BroadcastResponse wraps a demand's scheduling result.
+// FaultInfo is the fault accounting of a chaos-mode broadcast.
+type FaultInfo struct {
+	FailedEdges       int     `json:"failed_edges"`
+	FailedVertices    int     `json:"failed_vertices"`
+	TreesSurviving    int     `json:"trees_surviving"`
+	PairsExpected     int     `json:"pairs_expected"`
+	PairsDelivered    int     `json:"pairs_delivered"`
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	MessagesDelivered int     `json:"messages_delivered"`
+	MessagesLost      int     `json:"messages_lost"`
+	Retries           int     `json:"retries"`
+	RetryRounds       int     `json:"retry_rounds"`
+}
+
+// BroadcastResponse wraps a demand's scheduling result; Fault is set
+// exactly when the request carried a fault plan.
 type BroadcastResponse struct {
 	GraphID  string      `json:"graph_id"`
 	Kind     Kind        `json:"kind"`
 	Messages int         `json:"messages"`
 	Result   cast.Result `json:"result"`
+	Fault    *FaultInfo  `json:"fault,omitempty"`
 }
 
 type errorResponse struct {
@@ -97,14 +116,35 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		id := r.PathValue("id")
-		res, err := s.Broadcast(id, req.Kind, req.Sources, req.Seed)
-		if err != nil {
-			writeError(w, statusFor(s, id), err)
-			return
+		resp := BroadcastResponse{GraphID: id, Kind: req.Kind, Messages: len(req.Sources)}
+		if req.Fault != nil {
+			fres, err := s.BroadcastFaulted(r.Context(), id, req.Kind, req.Sources, req.Seed, *req.Fault)
+			if err != nil {
+				writeError(w, statusFor(s, id), err)
+				return
+			}
+			resp.Result = fres.Result
+			resp.Fault = &FaultInfo{
+				FailedEdges:       fres.FailedEdges,
+				FailedVertices:    fres.FailedVertices,
+				TreesSurviving:    fres.TreesSurviving,
+				PairsExpected:     fres.PairsExpected,
+				PairsDelivered:    fres.PairsDelivered,
+				DeliveredFraction: fres.DeliveredFraction,
+				MessagesDelivered: fres.MessagesDelivered,
+				MessagesLost:      fres.MessagesLost,
+				Retries:           fres.Retries,
+				RetryRounds:       fres.RetryRounds,
+			}
+		} else {
+			res, err := s.BroadcastContext(r.Context(), id, req.Kind, req.Sources, req.Seed)
+			if err != nil {
+				writeError(w, statusFor(s, id), err)
+				return
+			}
+			resp.Result = res
 		}
-		writeJSON(w, http.StatusOK, BroadcastResponse{
-			GraphID: id, Kind: req.Kind, Messages: len(req.Sources), Result: res,
-		})
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())

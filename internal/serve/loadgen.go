@@ -7,7 +7,9 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -27,6 +29,25 @@ type LoadConfig struct {
 	MsgsPerDemand int
 	// Seed derives every worker's demand stream and run seeds.
 	Seed uint64
+
+	// Chaos mode: FaultRate in (0, 1] makes a seeded subset of demands
+	// run under a fault plan (each demand is faulted independently with
+	// this probability, drawn from FaultSeed — the same config replays
+	// the same chaos run demand for demand). Zero disables chaos.
+	FaultRate float64
+	// FaultSeed derives both the faulted-demand subset and each plan's
+	// kill-set seed.
+	FaultSeed uint64
+	// FaultEdges and FaultVertices size each plan's random kill set.
+	// When chaos is on and both are zero, one random edge is killed.
+	FaultEdges    int
+	FaultVertices int
+	// FaultRound is each plan's failure round (default 1, after the
+	// injection round).
+	FaultRound int
+	// FaultRetries is each plan's reroute budget (cast.FaultPlan
+	// semantics: 0 means the default, negative disables retries).
+	FaultRetries int
 }
 
 // LoadReport aggregates a load run.
@@ -40,6 +61,14 @@ type LoadReport struct {
 	// MsgsPerRound is the aggregate dissemination throughput: total
 	// messages over total scheduler rounds.
 	MsgsPerRound float64 `json:"msgs_per_round"`
+
+	// Chaos accounting, aggregated over the faulted demands only.
+	FaultedDemands int `json:"faulted_demands"`
+	MessagesLost   int `json:"messages_lost"`
+	Retries        int `json:"retries"`
+	// DeliveredFraction is pairs delivered over pairs expected across
+	// all faulted demands (1 when none were faulted).
+	DeliveredFraction float64 `json:"delivered_fraction"`
 }
 
 // GenerateLoad runs the closed loop against the service and reports
@@ -64,30 +93,84 @@ func GenerateLoad(s *Service, cfg LoadConfig) (LoadReport, error) {
 		return LoadReport{}, err
 	}
 
-	// Worker demand streams, derived before the clock starts.
+	// Worker demand streams and fault plans, derived before the clock
+	// starts. The faulted subset and every plan seed come from FaultSeed
+	// alone, so a chaos run is as replayable as a healthy one.
 	demands := make([][]cast.Demand, cfg.Workers)
+	var plans [][]*cast.FaultPlan
+	if cfg.FaultRate > 0 {
+		plans = make([][]*cast.FaultPlan, cfg.Workers)
+	}
+	faultEdges, faultVertices := cfg.FaultEdges, cfg.FaultVertices
+	if cfg.FaultRate > 0 && faultEdges == 0 && faultVertices == 0 {
+		faultEdges = 1
+	}
+	faultRound := cfg.FaultRound
+	if faultRound <= 0 {
+		faultRound = 1
+	}
 	for w := range demands {
 		rng := ds.NewRand(cfg.Seed + uint64(w)*0x9e3779b9)
 		demands[w] = make([]cast.Demand, cfg.Demands)
+		var frng *rand.Rand
+		if cfg.FaultRate > 0 {
+			plans[w] = make([]*cast.FaultPlan, cfg.Demands)
+			frng = ds.SplitRand(cfg.FaultSeed, uint64(w))
+		}
 		for d := range demands[w] {
 			demands[w][d] = cast.UniformDemand(g.N(), cfg.MsgsPerDemand, rng)
+			if frng != nil && frng.Float64() < cfg.FaultRate {
+				planSeed, _ := ds.SplitSeed(cfg.FaultSeed, uint64(w*cfg.Demands+d))
+				plans[w][d] = &cast.FaultPlan{
+					Round:          faultRound,
+					RandomEdges:    faultEdges,
+					RandomVertices: faultVertices,
+					Seed:           planSeed,
+					MaxRetries:     cfg.FaultRetries,
+				}
+			}
 		}
 	}
 
 	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		rounds uint64
-		first  error
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		rounds  uint64
+		first   error
+		faulted int
+		lost    int
+		retries int
+		pairsD  int
+		pairsE  int
 	)
+	ctx := context.Background()
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			var local uint64
+			var lFaulted, lLost, lRetries, lPairsD, lPairsE int
 			for d, dem := range demands[w] {
-				res, err := s.Broadcast(cfg.GraphID, cfg.Kind, dem.Sources, cfg.Seed+uint64(w*cfg.Demands+d))
+				seed := cfg.Seed + uint64(w*cfg.Demands+d)
+				var (
+					res cast.Result
+					err error
+				)
+				if plans != nil && plans[w][d] != nil {
+					var fres cast.FaultResult
+					fres, err = s.BroadcastFaulted(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed, *plans[w][d])
+					if err == nil {
+						res = fres.Result
+						lFaulted++
+						lLost += fres.MessagesLost
+						lRetries += fres.Retries
+						lPairsD += fres.PairsDelivered
+						lPairsE += fres.PairsExpected
+					}
+				} else {
+					res, err = s.Broadcast(cfg.GraphID, cfg.Kind, dem.Sources, seed)
+				}
 				if err != nil {
 					mu.Lock()
 					if first == nil {
@@ -100,6 +183,11 @@ func GenerateLoad(s *Service, cfg LoadConfig) (LoadReport, error) {
 			}
 			mu.Lock()
 			rounds += local
+			faulted += lFaulted
+			lost += lLost
+			retries += lRetries
+			pairsD += lPairsD
+			pairsE += lPairsE
 			mu.Unlock()
 		}(w)
 	}
@@ -111,11 +199,15 @@ func GenerateLoad(s *Service, cfg LoadConfig) (LoadReport, error) {
 
 	total := cfg.Workers * cfg.Demands
 	rep := LoadReport{
-		Workers:  cfg.Workers,
-		Demands:  total,
-		Messages: total * cfg.MsgsPerDemand,
-		Rounds:   rounds,
-		Elapsed:  elapsed,
+		Workers:           cfg.Workers,
+		Demands:           total,
+		Messages:          total * cfg.MsgsPerDemand,
+		Rounds:            rounds,
+		Elapsed:           elapsed,
+		FaultedDemands:    faulted,
+		MessagesLost:      lost,
+		Retries:           retries,
+		DeliveredFraction: deliveredFraction(uint64(pairsD), uint64(pairsE)),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.DemandsPerSec = float64(total) / secs

@@ -19,6 +19,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -60,6 +61,9 @@ type Config struct {
 	// Epsilon overrides the spanning-tree packer's ε when it lies in
 	// (0, 1); values outside that range fall back to the packer default.
 	Epsilon float64
+	// MaxMsgsPerDemand bounds a single demand's message count; oversized
+	// demands are rejected before any scheduler work. Default 65536.
+	MaxMsgsPerDemand int
 }
 
 // Service is the concurrent decomposition service. All methods are safe
@@ -81,6 +85,13 @@ type Service struct {
 	cacheHits    atomic.Uint64 // decomposition requests served from cache
 	maxVCong     atomic.Int64  // max per-demand vertex congestion seen
 	maxECong     atomic.Int64  // max per-demand edge congestion seen
+
+	// Chaos-mode counters (faulted broadcasts only).
+	faultedRequests atomic.Uint64 // faulted demands served
+	messagesLost    atomic.Uint64 // messages given up after retries
+	retries         atomic.Uint64 // surviving-tree reroutes performed
+	pairsExpected   atomic.Uint64 // (message, live vertex) delivery targets
+	pairsDelivered  atomic.Uint64 // delivery targets achieved
 }
 
 // graphEntry is one registered graph with its per-kind packing cache
@@ -98,6 +109,12 @@ type graphEntry struct {
 	computes  atomic.Uint64
 	maxVCong  atomic.Int64
 	maxECong  atomic.Int64
+
+	faultedRequests atomic.Uint64
+	messagesLost    atomic.Uint64
+	retries         atomic.Uint64
+	pairsExpected   atomic.Uint64
+	pairsDelivered  atomic.Uint64
 }
 
 // packEntry is one cached decomposition: the singleflight slot, the
@@ -118,6 +135,9 @@ type packEntry struct {
 func New(cfg Config) *Service {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 8
+	}
+	if cfg.MaxMsgsPerDemand <= 0 {
+		cfg.MaxMsgsPerDemand = 65536
 	}
 	return &Service{
 		cfg:    cfg,
@@ -315,45 +335,121 @@ func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, *cast.Schedu
 // pool, the demand runs under the service's concurrency bound, and the
 // result is identical to a serial cast Run with the same (demand, seed).
 func (s *Service) Broadcast(id string, kind Kind, sources []int, seed uint64) (cast.Result, error) {
+	return s.BroadcastContext(context.Background(), id, kind, sources, seed)
+}
+
+// BroadcastContext is Broadcast with request-level cancellation: a done
+// context aborts both the wait for an execution slot and the scheduler
+// round loop itself, and in either case the slot is released and the
+// clone returned to its pool, so a client disconnect mid-broadcast
+// never leaks service capacity.
+func (s *Service) BroadcastContext(ctx context.Context, id string, kind Kind, sources []int, seed uint64) (cast.Result, error) {
+	e, pe, err := s.checkoutDemand(id, kind, sources)
+	if err != nil {
+		return cast.Result{}, err
+	}
+	res, err := s.runDemand(ctx, pe, func(c *cast.Scheduler) (cast.Result, error) {
+		return c.RunContext(ctx, cast.Demand{Sources: sources}, seed)
+	})
+	if err != nil {
+		return cast.Result{}, err
+	}
+	s.recordDemand(e, len(sources), res)
+	return res, nil
+}
+
+// BroadcastFaulted serves one demand under a fault plan. Partial
+// delivery is a structured FaultResult, never an error — errors are
+// reserved for unknown graphs/kinds, invalid demands or plans, and
+// cancellation — so a chaos run can never poison the packing cache or
+// be mistaken for a service failure.
+func (s *Service) BroadcastFaulted(ctx context.Context, id string, kind Kind, sources []int, seed uint64, plan cast.FaultPlan) (cast.FaultResult, error) {
+	e, pe, err := s.checkoutDemand(id, kind, sources)
+	if err != nil {
+		return cast.FaultResult{}, err
+	}
+	var res cast.FaultResult
+	_, err = s.runDemand(ctx, pe, func(c *cast.Scheduler) (cast.Result, error) {
+		var ferr error
+		res, ferr = c.RunFaultedContext(ctx, cast.Demand{Sources: sources}, seed, plan)
+		return res.Result, ferr
+	})
+	if err != nil {
+		return cast.FaultResult{}, err
+	}
+	s.recordDemand(e, len(sources), res.Result)
+	s.faultedRequests.Add(1)
+	e.faultedRequests.Add(1)
+	s.messagesLost.Add(uint64(res.MessagesLost))
+	e.messagesLost.Add(uint64(res.MessagesLost))
+	s.retries.Add(uint64(res.Retries))
+	e.retries.Add(uint64(res.Retries))
+	s.pairsExpected.Add(uint64(res.PairsExpected))
+	e.pairsExpected.Add(uint64(res.PairsExpected))
+	s.pairsDelivered.Add(uint64(res.PairsDelivered))
+	e.pairsDelivered.Add(uint64(res.PairsDelivered))
+	return res, nil
+}
+
+// checkoutDemand validates a demand and resolves its packing cache
+// entry (computing the decomposition if needed).
+func (s *Service) checkoutDemand(id string, kind Kind, sources []int) (*graphEntry, *packEntry, error) {
 	e, ok := s.lookup(id)
 	if !ok {
-		return cast.Result{}, fmt.Errorf("serve: unknown graph %q", id)
+		return nil, nil, fmt.Errorf("serve: unknown graph %q", id)
 	}
 	if len(sources) == 0 {
-		return cast.Result{}, fmt.Errorf("serve: empty demand")
+		return nil, nil, fmt.Errorf("serve: empty demand")
+	}
+	if len(sources) > s.cfg.MaxMsgsPerDemand {
+		return nil, nil, fmt.Errorf("serve: demand of %d messages exceeds limit %d", len(sources), s.cfg.MaxMsgsPerDemand)
 	}
 	for i, src := range sources {
 		if src < 0 || src >= e.g.N() {
-			return cast.Result{}, fmt.Errorf("serve: source %d out of range [0,%d) at index %d", src, e.g.N(), i)
+			return nil, nil, fmt.Errorf("serve: source %d out of range [0,%d) at index %d", src, e.g.N(), i)
 		}
 	}
 	pe, _, err := s.pack(e, kind)
 	if err != nil {
-		return cast.Result{}, err
+		return nil, nil, err
 	}
 	if pe.err != nil {
-		return cast.Result{}, pe.err
+		return nil, nil, pe.err
 	}
+	return e, pe, nil
+}
 
-	s.sem <- struct{}{}
+// runDemand executes one demand under the concurrency bound with a
+// pooled clone, releasing both slot and clone on every path (a clone's
+// buffers are cleared at Run entry, so a cancelled clone is pool-safe).
+func (s *Service) runDemand(ctx context.Context, pe *packEntry, run func(*cast.Scheduler) (cast.Result, error)) (cast.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return cast.Result{}, ctx.Err()
+	}
 	c := pe.pool.Get().(*cast.Scheduler)
-	res, err := c.Run(cast.Demand{Sources: sources}, seed)
+	res, err := run(c)
 	pe.pool.Put(c)
 	<-s.sem
 	if err != nil {
 		return cast.Result{}, err
 	}
+	return res, nil
+}
 
+// recordDemand folds one served demand into the global and per-graph
+// counters.
+func (s *Service) recordDemand(e *graphEntry, msgs int, res cast.Result) {
 	s.requests.Add(1)
 	e.requests.Add(1)
-	s.messages.Add(uint64(len(sources)))
+	s.messages.Add(uint64(msgs))
 	s.rounds.Add(uint64(res.Rounds))
 	e.rounds.Add(uint64(res.Rounds))
 	maxInt64(&s.maxVCong, int64(res.MaxVertexCongestion))
 	maxInt64(&e.maxVCong, int64(res.MaxVertexCongestion))
 	maxInt64(&s.maxECong, int64(res.MaxEdgeCongestion))
 	maxInt64(&e.maxECong, int64(res.MaxEdgeCongestion))
-	return res, nil
 }
 
 // maxInt64 lifts m to at least v.
@@ -377,6 +473,13 @@ type GraphStats struct {
 	PackComputes        uint64 `json:"pack_computes"`
 	MaxVertexCongestion int64  `json:"max_vertex_congestion"`
 	MaxEdgeCongestion   int64  `json:"max_edge_congestion"`
+	// Chaos-mode counters: faulted demands served against this graph,
+	// their reroutes and losses, and the achieved delivered fraction
+	// across all of them (1 when no faulted demand has been served).
+	FaultedRequests   uint64  `json:"faulted_requests"`
+	MessagesLost      uint64  `json:"messages_lost"`
+	Retries           uint64  `json:"retries"`
+	DeliveredFraction float64 `json:"delivered_fraction"`
 }
 
 // Stats is a snapshot of the service counters.
@@ -390,6 +493,10 @@ type Stats struct {
 	CacheHits           uint64       `json:"cache_hits"`
 	MaxVertexCongestion int64        `json:"max_vertex_congestion"`
 	MaxEdgeCongestion   int64        `json:"max_edge_congestion"`
+	FaultedRequests     uint64       `json:"faulted_requests"`
+	MessagesLost        uint64       `json:"messages_lost"`
+	Retries             uint64       `json:"retries"`
+	DeliveredFraction   float64      `json:"delivered_fraction"`
 	PerGraph            []GraphStats `json:"per_graph"`
 }
 
@@ -412,6 +519,10 @@ func (s *Service) Stats() Stats {
 		CacheHits:           s.cacheHits.Load(),
 		MaxVertexCongestion: s.maxVCong.Load(),
 		MaxEdgeCongestion:   s.maxECong.Load(),
+		FaultedRequests:     s.faultedRequests.Load(),
+		MessagesLost:        s.messagesLost.Load(),
+		Retries:             s.retries.Load(),
+		DeliveredFraction:   deliveredFraction(s.pairsDelivered.Load(), s.pairsExpected.Load()),
 	}
 	for _, e := range entries {
 		st.PerGraph = append(st.PerGraph, GraphStats{
@@ -424,7 +535,21 @@ func (s *Service) Stats() Stats {
 			PackComputes:        e.computes.Load(),
 			MaxVertexCongestion: e.maxVCong.Load(),
 			MaxEdgeCongestion:   e.maxECong.Load(),
+			FaultedRequests:     e.faultedRequests.Load(),
+			MessagesLost:        e.messagesLost.Load(),
+			Retries:             e.retries.Load(),
+			DeliveredFraction:   deliveredFraction(e.pairsDelivered.Load(), e.pairsExpected.Load()),
 		})
 	}
 	return st
+}
+
+// deliveredFraction reports delivered/expected, defaulting to 1 before
+// any faulted demand has been served (nothing was expected, nothing was
+// lost).
+func deliveredFraction(delivered, expected uint64) float64 {
+	if expected == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(expected)
 }
