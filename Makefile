@@ -60,7 +60,7 @@ fingerprint-check:
 bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Full E1-E5 measurement written to BENCH_$(LABEL).json. Set BASELINE to
+# Full E1-E8 measurement written to BENCH_$(LABEL).json. Set BASELINE to
 # a prior BENCH_*.json to embed per-bench speedups:
 #   make bench LABEL=pr2 BASELINE=BENCH_pr1.json
 LABEL ?= local
@@ -68,11 +68,11 @@ BASELINE ?=
 bench:
 	$(GO) run ./cmd/bench -label $(LABEL) $(if $(BASELINE),-baseline $(BASELINE))
 
-# Pre-merge regression gate: rerun the full E1-E5 measurement and fail
+# Pre-merge regression gate: rerun the full E1-E8 measurement and fail
 # if any benchmark is more than TOLERANCE (fractional) slower than the
 # committed baseline:
-#   make bench-check [CHECK_BASELINE=BENCH_pr6.json] [TOLERANCE=0.20]
-CHECK_BASELINE ?= BENCH_pr6.json
+#   make bench-check [CHECK_BASELINE=BENCH_pr7.json] [TOLERANCE=0.20]
+CHECK_BASELINE ?= BENCH_pr7.json
 TOLERANCE ?= 0.20
 bench-check:
 	$(GO) run ./cmd/bench -check -baseline $(CHECK_BASELINE) -tolerance $(TOLERANCE)

@@ -86,6 +86,16 @@ func BenchmarkE7FaultedBroadcast(b *testing.B) {
 	}
 }
 
+// E8-open-loop: demands arriving on a deterministic exponential
+// schedule through the serving layer, reporting the per-demand latency
+// distribution below and above the saturation rate (PR 7's open-loop
+// load generator).
+func BenchmarkE8OpenLoopLatency(b *testing.B) {
+	for _, c := range benchmarks.E8OpenLoop() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
 // --- E6: Corollary 1.6 — oblivious routing congestion ---------------------
 
 func BenchmarkE6ObliviousCongestion(b *testing.B) {

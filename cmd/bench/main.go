@@ -1,4 +1,4 @@
-// Command bench executes the E1–E5 experiment benchmarks (the same
+// Command bench executes the E1–E8 experiment benchmarks (the same
 // workloads go test -bench runs, via internal/benchmarks) and writes the
 // results as BENCH_<label>.json, seeding the repo's performance
 // trajectory. An optional baseline file adds per-benchmark speedups:

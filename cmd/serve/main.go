@@ -13,9 +13,11 @@
 // With -selftest the command instead drives the full loop in-process
 // against a real HTTP listener — register, concurrent decomposition
 // requests (asserting the singleflight packed exactly once), concurrent
-// broadcasts checked byte-identical against a serial replay, a
-// closed-loop load run, and a stats audit — exiting nonzero on any
-// failure. `make ci` runs it as the serving smoke test.
+// broadcasts checked byte-identical against a serial replay, a batch
+// round-trip (one pack checkout for N demands) plus its streaming
+// NDJSON twin, closed- and open-loop load runs, and a stats audit —
+// exiting nonzero on any failure. `make ci` runs it as the serving
+// smoke test.
 package main
 
 import (
@@ -227,6 +229,44 @@ func runSelftest(svc *serve.Service) error {
 		fresp.Fault.FailedEdges, fresp.Fault.TreesSurviving,
 		fresp.Fault.DeliveredFraction, fresp.Fault.Retries)
 
+	// Batch round-trip: one request, N demands (one invalid on purpose),
+	// exactly one additional pack-cache checkout.
+	preBatch := stats(client, srv.URL)
+	batchReq := serve.BatchRequest{Kind: serve.Spanning, Demands: []serve.BatchDemand{
+		{Sources: []int{0, 1, 2}, Seed: 31},
+		{Sources: []int{5, 9}, Seed: 32},
+		{Sources: []int{g.N() + 1}, Seed: 33}, // error entry, not a request error
+		{Sources: []int{7}, Seed: 34},
+	}}
+	var bresp serve.BatchResponse
+	if err := post(client, srv.URL+"/v1/graphs/"+info.ID+"/broadcast/batch", batchReq, &bresp); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	if len(bresp.Entries) != len(batchReq.Demands) || bresp.Summary.Succeeded != 3 || bresp.Summary.Failed != 1 {
+		return fmt.Errorf("batch entries wrong: %+v", bresp)
+	}
+	if st := stats(client, srv.URL); st.PackRequests != preBatch.PackRequests+1 {
+		return fmt.Errorf("batch of %d demands made %d pack checkouts, want 1",
+			len(batchReq.Demands), st.PackRequests-preBatch.PackRequests)
+	}
+	fmt.Printf("batch: %d demands in one request, %d succeeded, 1 pack checkout\n",
+		bresp.Summary.Demands, bresp.Summary.Succeeded)
+
+	// Streaming round-trip: the same batch as NDJSON events — one per
+	// demand in completion order, then the terminal summary.
+	events, err := streamBatchEvents(client, srv.URL+"/v1/graphs/"+info.ID+"/broadcast/batch?stream=1", batchReq)
+	if err != nil {
+		return fmt.Errorf("streaming batch: %w", err)
+	}
+	if len(events) != len(batchReq.Demands)+1 {
+		return fmt.Errorf("streamed %d events for %d demands", len(events), len(batchReq.Demands))
+	}
+	last := events[len(events)-1]
+	if last.Type != serve.EventSummary || last.Summary == nil || *last.Summary != bresp.Summary {
+		return fmt.Errorf("streamed summary %+v diverges from batch summary %+v", last.Summary, bresp.Summary)
+	}
+	fmt.Printf("stream: %d events, terminal summary matches the batch response\n", len(events))
+
 	// Closed-loop load run through the same (already warm) cache.
 	rep, err := serve.GenerateLoad(svc, serve.LoadConfig{
 		GraphID: info.ID, Kind: serve.Spanning, Workers: 4, Demands: 8, Seed: 5,
@@ -236,6 +276,21 @@ func runSelftest(svc *serve.Service) error {
 	}
 	fmt.Printf("load: %d demands, %d workers, %.0f demands/s, %.2f msgs/round\n",
 		rep.Demands, rep.Workers, rep.DemandsPerSec, rep.MsgsPerRound)
+
+	// Open-loop load run: deterministic exponential arrivals, per-demand
+	// latency percentiles.
+	orep, err := serve.GenerateLoad(svc, serve.LoadConfig{
+		GraphID: info.ID, Kind: serve.Spanning, Seed: 8,
+		ArrivalRate: 2000, Arrivals: 16,
+	})
+	if err != nil {
+		return fmt.Errorf("open load: %w", err)
+	}
+	if orep.Completed != orep.Demands || orep.LatencyP50 <= 0 || orep.LatencyP99 < orep.LatencyP50 {
+		return fmt.Errorf("open load degenerate: %+v", orep)
+	}
+	fmt.Printf("open load: %d arrivals at %.0f/s, p50=%s p95=%s p99=%s peak-pending=%d\n",
+		orep.Completed, orep.ArrivalRate, orep.LatencyP50, orep.LatencyP95, orep.LatencyP99, orep.MaxPendingSeen)
 
 	// Chaos load run: every demand faulted, service keeps serving.
 	crep, err := serve.GenerateLoad(svc, serve.LoadConfig{
@@ -256,7 +311,10 @@ func runSelftest(svc *serve.Service) error {
 
 	// Final stats audit.
 	st := stats(client, srv.URL)
-	wantReqs := uint64(2*2*workers*demandsPer + 2 + rep.Demands + crep.Demands)
+	// Two passes × two kinds of concurrent broadcasts, two chaos smokes,
+	// two batches (streamed and not) of three valid demands each, and the
+	// three load runs.
+	wantReqs := uint64(2*2*workers*demandsPer + 2 + 2*3 + rep.Demands + crep.Demands + orep.Completed)
 	if st.Requests != wantReqs {
 		return fmt.Errorf("stats count %d requests, want %d", st.Requests, wantReqs)
 	}
@@ -270,6 +328,15 @@ func runSelftest(svc *serve.Service) error {
 	if st.PackComputes != 2 {
 		return fmt.Errorf("stats count %d packings, want 2", st.PackComputes)
 	}
+	// Every pack request is exactly one of: the computing leader, a true
+	// cache hit, or coalesced behind an in-flight leader.
+	if st.PackRequests != st.PackComputes+st.CacheHits+st.Coalesced {
+		return fmt.Errorf("pack accounting leaks: %d requests != %d computes + %d hits + %d coalesced",
+			st.PackRequests, st.PackComputes, st.CacheHits, st.Coalesced)
+	}
+	if st.EventsDropped != 0 {
+		return fmt.Errorf("selftest stream dropped %d events", st.EventsDropped)
+	}
 	if st.Graphs != 1 || len(st.PerGraph) != 1 || st.PerGraph[0].Requests != wantReqs {
 		return fmt.Errorf("per-graph stats wrong: %+v", st)
 	}
@@ -280,6 +347,38 @@ func runSelftest(svc *serve.Service) error {
 		st.Requests, st.FaultedRequests, st.Rounds, st.PackComputes, st.PackRequests,
 		st.MaxVertexCongestion, st.MaxEdgeCongestion, st.DeliveredFraction)
 	return nil
+}
+
+// streamBatchEvents posts a batch to the streaming endpoint and decodes
+// the NDJSON event stream through the terminal summary.
+func streamBatchEvents(client *http.Client, url string, req serve.BatchRequest) ([]serve.BatchEvent, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return nil, fmt.Errorf("stream content type %q", ct)
+	}
+	var events []serve.BatchEvent
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev serve.BatchEvent
+		if err := dec.Decode(&ev); err != nil {
+			return events, fmt.Errorf("stream decode after %d events: %w", len(events), err)
+		}
+		events = append(events, ev)
+		if ev.Type == serve.EventSummary {
+			return events, nil
+		}
+	}
 }
 
 func post(client *http.Client, url string, body, out any) error {

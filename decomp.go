@@ -424,11 +424,34 @@ const (
 // decomposition.
 type DecompositionInfo = serve.DecompInfo
 
-// LoadConfig describes one closed-loop load run (K workers × M demands).
+// LoadConfig describes one load run: closed loop (K workers × M
+// demands, the default) or open loop (ArrivalRate > 0, demands arriving
+// on a deterministic exponential schedule regardless of completion
+// speed).
 type LoadConfig = serve.LoadConfig
 
-// LoadReport aggregates a load run's throughput.
+// LoadReport aggregates a load run's throughput and, open-loop, its
+// latency distribution and admission accounting.
 type LoadReport = serve.LoadReport
+
+// BatchDemand is one demand of a service batch: a source list plus the
+// seed its tree assignment draws from.
+type BatchDemand = serve.BatchDemand
+
+// BatchEntry is one batch demand's outcome — exactly one of Result and
+// Error is set.
+type BatchEntry = serve.BatchEntry
+
+// BatchSummary aggregates a batch (entry counts, messages, rounds).
+type BatchSummary = serve.BatchSummary
+
+// BatchResult is a batch's structured outcome: per-demand entries in
+// demand order plus the summary.
+type BatchResult = serve.BatchResult
+
+// BatchEvent is one event on a service's streaming bus: a completed (or
+// rejected) batch entry, or the terminal batch summary.
+type BatchEvent = serve.BatchEvent
 
 // NewService builds an empty decomposition service.
 func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
@@ -438,7 +461,10 @@ func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
 // broadcast demand, stats).
 func NewServiceHandler(s *Service) http.Handler { return serve.NewHandler(s) }
 
-// GenerateLoad drives the closed-loop load generator against a service.
+// GenerateLoad drives the load generator against a service — closed
+// loop (K workers × M demands) or, when ArrivalRate is set, open loop
+// (deterministic arrival schedule, latency percentiles, admission
+// control).
 func GenerateLoad(s *Service, cfg LoadConfig) (LoadReport, error) { return serve.GenerateLoad(s, cfg) }
 
 // GraphID returns the content-hash registry key a Service would assign

@@ -1,0 +1,161 @@
+// The batched demand path: N demands against one graph resolved with a
+// single registry lookup and a single packing-cache checkout, executed
+// concurrently under the service's existing semaphore with one pooled
+// Scheduler clone per in-flight demand, and folded into the stats with
+// one amortized update per batch instead of one per demand. A demand
+// that fails validation or is cancelled becomes a structured entry in
+// the result array — only request-level problems (unknown graph or
+// kind, empty or oversized batch, a cached packing error) fail the
+// batch as a whole. Every batch also publishes per-demand completion
+// events and a terminal summary on the service event bus, which is what
+// the streaming HTTP mode consumes.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cast"
+)
+
+// BatchDemand is one demand of a batch: a source list and the seed its
+// tree assignment draws from (so a batch is replayable entry for entry).
+type BatchDemand struct {
+	Sources []int  `json:"sources"`
+	Seed    uint64 `json:"seed"`
+}
+
+// BatchEntry is one demand's outcome. Exactly one of Result and Error
+// is set.
+type BatchEntry struct {
+	Index  int          `json:"index"`
+	Result *cast.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// BatchSummary aggregates a batch.
+type BatchSummary struct {
+	Demands   int `json:"demands"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	// Messages and Rounds sum over the succeeded entries only.
+	Messages int    `json:"messages"`
+	Rounds   uint64 `json:"rounds"`
+}
+
+// BatchResult is a batch's structured outcome: one entry per demand, in
+// demand order, plus the summary the terminal stream event carries.
+type BatchResult struct {
+	BatchID uint64       `json:"batch_id"`
+	Entries []BatchEntry `json:"entries"`
+	Summary BatchSummary `json:"summary"`
+}
+
+// BroadcastBatch serves a batch of demands over the graph's cached
+// decomposition. Individual demand failures (bad sources, oversized
+// demand, cancellation mid-batch) are entries, not errors; the error
+// return is reserved for request-level rejection. The packing cache is
+// consulted exactly once for the whole batch.
+func (s *Service) BroadcastBatch(ctx context.Context, id string, kind Kind, demands []BatchDemand) (BatchResult, error) {
+	e, pe, err := s.prepareBatch(id, kind, demands)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return s.runBatch(ctx, e, pe, demands, s.batchSeq.Add(1)), nil
+}
+
+// prepareBatch performs the request-level half of a batch: registry
+// lookup, kind/size validation, and the single packing-cache checkout.
+// The streaming handler calls it separately so request errors surface
+// as proper HTTP statuses before the first streamed byte.
+func (s *Service) prepareBatch(id string, kind Kind, demands []BatchDemand) (*graphEntry, *packEntry, error) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("serve: unknown graph %q", id)
+	}
+	if len(demands) == 0 {
+		return nil, nil, fmt.Errorf("serve: empty batch")
+	}
+	if len(demands) > s.cfg.MaxBatch {
+		return nil, nil, fmt.Errorf("serve: batch of %d demands exceeds limit %d", len(demands), s.cfg.MaxBatch)
+	}
+	pe, _, err := s.pack(e, kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pe.err != nil {
+		return nil, nil, pe.err
+	}
+	return e, pe, nil
+}
+
+// runBatch executes a prepared batch: every valid entry runs under the
+// service semaphore on a pooled clone, completion events are published
+// as demands finish, stats are folded once at the end, and the terminal
+// summary event closes the batch's stream.
+func (s *Service) runBatch(ctx context.Context, e *graphEntry, pe *packEntry, demands []BatchDemand, batchID uint64) BatchResult {
+	entries := make([]BatchEntry, len(demands))
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex // guards the aggregate below
+		agg struct {
+			succeeded, messages int
+			rounds              uint64
+			maxV, maxE          int64
+		}
+	)
+	for i := range demands {
+		entries[i].Index = i
+		d := demands[i]
+		if err := s.validateSources(e, d.Sources); err != nil {
+			entries[i].Error = err.Error()
+			s.bus.publish(BatchEvent{BatchID: batchID, Type: EventDemand, Index: i, Error: entries[i].Error})
+			continue
+		}
+		wg.Add(1)
+		go func(i int, d BatchDemand) {
+			defer wg.Done()
+			res, err := s.runDemand(ctx, pe, func(c *cast.Scheduler) (cast.Result, error) {
+				return c.RunContext(ctx, cast.Demand{Sources: d.Sources}, d.Seed)
+			})
+			if err != nil {
+				entries[i].Error = err.Error()
+				s.bus.publish(BatchEvent{BatchID: batchID, Type: EventDemand, Index: i, Error: entries[i].Error})
+				return
+			}
+			entries[i].Result = &res
+			mu.Lock()
+			agg.succeeded++
+			agg.messages += len(d.Sources)
+			agg.rounds += uint64(res.Rounds)
+			agg.maxV = max(agg.maxV, int64(res.MaxVertexCongestion))
+			agg.maxE = max(agg.maxE, int64(res.MaxEdgeCongestion))
+			mu.Unlock()
+			s.bus.publish(BatchEvent{BatchID: batchID, Type: EventDemand, Index: i, Messages: len(d.Sources), Result: &res})
+		}(i, d)
+	}
+	wg.Wait()
+
+	// Amortized stats: one update per counter for the whole batch.
+	if agg.succeeded > 0 {
+		s.requests.Add(uint64(agg.succeeded))
+		e.requests.Add(uint64(agg.succeeded))
+		s.messages.Add(uint64(agg.messages))
+		s.rounds.Add(agg.rounds)
+		e.rounds.Add(agg.rounds)
+		maxInt64(&s.maxVCong, agg.maxV)
+		maxInt64(&e.maxVCong, agg.maxV)
+		maxInt64(&s.maxECong, agg.maxE)
+		maxInt64(&e.maxECong, agg.maxE)
+	}
+	summary := BatchSummary{
+		Demands:   len(demands),
+		Succeeded: agg.succeeded,
+		Failed:    len(demands) - agg.succeeded,
+		Messages:  agg.messages,
+		Rounds:    agg.rounds,
+	}
+	s.bus.publish(BatchEvent{BatchID: batchID, Type: EventSummary, Summary: &summary})
+	return BatchResult{BatchID: batchID, Entries: entries, Summary: summary}
+}

@@ -1,0 +1,133 @@
+// The in-process event bus behind the streaming broadcast path: batch
+// execution publishes one event per completed demand plus a terminal
+// summary, and any number of subscribers (the NDJSON/SSE handler, test
+// observers) consume them through bounded channels. Publishing never
+// blocks on a slow subscriber: when a subscriber's buffer is full the
+// oldest buffered event is dropped to make room and the drop is counted
+// (per subscription and in the service-wide events_dropped stat), so a
+// stalled client can lose intermediate progress events but never stalls
+// the demands themselves — and the terminal summary, being published
+// last, always survives drop-oldest.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cast"
+)
+
+// Batch event types.
+const (
+	// EventDemand is one completed (or rejected) batch entry.
+	EventDemand = "demand"
+	// EventSummary terminates a batch's event stream.
+	EventSummary = "summary"
+)
+
+// BatchEvent is one event on the service bus. Demand events carry the
+// entry's index and its result or error; the summary event carries the
+// batch totals and is always the last event published for its batch id.
+type BatchEvent struct {
+	// Seq is the bus-assigned publication sequence number, strictly
+	// increasing across all events the bus ever carries (so a subscriber
+	// can detect drop-oldest gaps).
+	Seq     uint64 `json:"seq"`
+	BatchID uint64 `json:"batch_id"`
+	Type    string `json:"type"`
+	// Index is the demand's position in the batch (demand events only).
+	Index    int           `json:"index"`
+	Messages int           `json:"messages,omitempty"`
+	Result   *cast.Result  `json:"result,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Summary  *BatchSummary `json:"summary,omitempty"`
+}
+
+// subscription is one bounded listener on the bus.
+type subscription struct {
+	// batchID filters delivery: 0 receives every event, nonzero only the
+	// events of that batch.
+	batchID uint64
+	ch      chan BatchEvent
+	dropped atomic.Uint64
+}
+
+// Events is the subscriber's receive side.
+func (s *subscription) Events() <-chan BatchEvent { return s.ch }
+
+// Dropped reports how many events this subscription lost to the
+// drop-oldest policy.
+func (s *subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// eventBus fans BatchEvents out to its subscriptions. All methods are
+// safe for concurrent use; publication order (and Seq assignment) is
+// serialized by the bus mutex, so every subscriber observes events of
+// one batch in increasing-Seq order.
+type eventBus struct {
+	mu   sync.Mutex
+	seq  uint64
+	subs map[*subscription]struct{}
+	// dropped points at the owning service's events_dropped counter so
+	// the slow-subscriber policy is visible in /v1/stats.
+	dropped *atomic.Uint64
+}
+
+func newEventBus(dropped *atomic.Uint64) *eventBus {
+	return &eventBus{subs: make(map[*subscription]struct{}), dropped: dropped}
+}
+
+// subscribe registers a listener with the given buffer capacity
+// (minimum 1, so the terminal summary always fits).
+func (b *eventBus) subscribe(batchID uint64, buffer int) *subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &subscription{batchID: batchID, ch: make(chan BatchEvent, buffer)}
+	b.mu.Lock()
+	b.subs[sub] = struct{}{}
+	b.mu.Unlock()
+	return sub
+}
+
+// unsubscribe detaches the listener. Its channel is left open (a
+// concurrent reader may still be draining); the bus simply stops
+// delivering to it.
+func (b *eventBus) unsubscribe(sub *subscription) {
+	b.mu.Lock()
+	delete(b.subs, sub)
+	b.mu.Unlock()
+}
+
+// publish assigns the event its sequence number and delivers it to every
+// matching subscription, dropping each full subscription's oldest
+// buffered event to make room (counted per subscription and service-wide).
+func (b *eventBus) publish(ev BatchEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	ev.Seq = b.seq
+	for sub := range b.subs {
+		if sub.batchID != 0 && sub.batchID != ev.BatchID {
+			continue
+		}
+		for {
+			select {
+			case sub.ch <- ev:
+			default:
+				// Buffer full: evict the oldest event and retry. The
+				// non-blocking receive can race a consumer draining the
+				// channel; either way room appears and the loop terminates.
+				select {
+				case <-sub.ch:
+					sub.dropped.Add(1)
+					if b.dropped != nil {
+						b.dropped.Add(1)
+					}
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEventBusOrderAndFiltering pins the bus contract a streaming client
+// relies on: a subscriber sees its batch's events in publication order
+// with strictly increasing Seq, and never sees another batch's events.
+func TestEventBusOrderAndFiltering(t *testing.T) {
+	var dropped atomic.Uint64
+	b := newEventBus(&dropped)
+	sub1 := b.subscribe(1, 64)
+	subAll := b.subscribe(0, 64)
+	defer b.unsubscribe(sub1)
+	defer b.unsubscribe(subAll)
+
+	const perBatch = 10
+	for i := 0; i < perBatch; i++ {
+		b.publish(BatchEvent{BatchID: 1, Type: EventDemand, Index: i})
+		b.publish(BatchEvent{BatchID: 2, Type: EventDemand, Index: i})
+	}
+	b.publish(BatchEvent{BatchID: 1, Type: EventSummary, Summary: &BatchSummary{Demands: perBatch}})
+
+	var got []BatchEvent
+	for ev := range sub1.Events() {
+		got = append(got, ev)
+		if ev.Type == EventSummary {
+			break
+		}
+	}
+	if len(got) != perBatch+1 {
+		t.Fatalf("batch-1 subscriber received %d events, want %d", len(got), perBatch+1)
+	}
+	for i, ev := range got {
+		if ev.BatchID != 1 {
+			t.Fatalf("batch-1 subscriber leaked batch %d event: %+v", ev.BatchID, ev)
+		}
+		if i > 0 && ev.Seq <= got[i-1].Seq {
+			t.Fatalf("Seq not increasing: %d after %d", ev.Seq, got[i-1].Seq)
+		}
+		if i < perBatch && ev.Index != i {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+	// The wildcard subscriber saw both batches, every event, in Seq order.
+	if n := len(subAll.Events()); n != 2*perBatch+1 {
+		t.Fatalf("wildcard subscriber buffered %d events, want %d", n, 2*perBatch+1)
+	}
+	if dropped.Load() != 0 || sub1.Dropped() != 0 {
+		t.Fatalf("unfull buffers dropped events: service=%d sub=%d", dropped.Load(), sub1.Dropped())
+	}
+}
+
+// TestEventBusDropOldest pins the slow-subscriber policy: a full buffer
+// loses its oldest events (counted per subscription and service-wide),
+// the newest events survive, and the terminal summary — published last
+// into a buffer of at least one — is always deliverable.
+func TestEventBusDropOldest(t *testing.T) {
+	var dropped atomic.Uint64
+	b := newEventBus(&dropped)
+	const buffer, events = 4, 20
+	sub := b.subscribe(7, buffer)
+	defer b.unsubscribe(sub)
+
+	for i := 0; i < events; i++ {
+		b.publish(BatchEvent{BatchID: 7, Type: EventDemand, Index: i})
+	}
+	b.publish(BatchEvent{BatchID: 7, Type: EventSummary, Summary: &BatchSummary{}})
+
+	want := uint64(events + 1 - buffer)
+	if sub.Dropped() != want || dropped.Load() != want {
+		t.Fatalf("dropped sub=%d service=%d, want %d", sub.Dropped(), dropped.Load(), want)
+	}
+	// What survives is the newest window, ending in the summary.
+	var got []BatchEvent
+	for len(sub.Events()) > 0 {
+		got = append(got, <-sub.Events())
+	}
+	if len(got) != buffer {
+		t.Fatalf("drained %d events from a %d-buffer, want full", len(got), buffer)
+	}
+	if got[len(got)-1].Type != EventSummary {
+		t.Fatalf("summary did not survive drop-oldest: %+v", got)
+	}
+	for i, ev := range got[:len(got)-1] {
+		if ev.Index != events-buffer+1+i {
+			t.Fatalf("survivor %d is not the newest window: %+v", i, got)
+		}
+	}
+
+	// Even a buffer-of-one subscriber (the subscribe floor) ends holding
+	// the summary.
+	tiny := b.subscribe(8, 0)
+	defer b.unsubscribe(tiny)
+	for i := 0; i < 5; i++ {
+		b.publish(BatchEvent{BatchID: 8, Type: EventDemand, Index: i})
+	}
+	b.publish(BatchEvent{BatchID: 8, Type: EventSummary, Summary: &BatchSummary{}})
+	if ev := <-tiny.Events(); ev.Type != EventSummary {
+		t.Fatalf("buffer-of-one subscriber holds %+v, want the summary", ev)
+	}
+}
+
+// TestEventBusConcurrentPublish hammers the bus from many publishers
+// while a consumer drains, pinning that the evict-retry loop terminates
+// and accounting stays exact: received + dropped == published.
+func TestEventBusConcurrentPublish(t *testing.T) {
+	var dropped atomic.Uint64
+	b := newEventBus(&dropped)
+	sub := b.subscribe(0, 8)
+
+	const publishers, each = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.publish(BatchEvent{BatchID: uint64(p + 1), Type: EventDemand, Index: i})
+			}
+		}(p)
+	}
+	var received atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.Events() {
+			received.Add(1)
+		}
+	}()
+	wg.Wait()
+	b.unsubscribe(sub)
+	close(sub.ch) // publishers are done and the sub detached; safe to end the drain
+	<-done
+	if got := received.Load() + sub.Dropped(); got != publishers*each {
+		t.Fatalf("received %d + dropped %d = %d, want %d", received.Load(), sub.Dropped(), got, publishers*each)
+	}
+}

@@ -3,9 +3,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -341,5 +344,98 @@ func TestHandlerErrorPaths(t *testing.T) {
 	// plan cases which validate before pack too).
 	if st.PackComputes > 1 {
 		t.Fatalf("error paths packed %d decompositions", st.PackComputes)
+	}
+}
+
+// TestChaosStatsSnapshotConsistency is the torn-snapshot regression: the
+// delivered/expected pair must move atomically, so a Stats reader racing
+// faulted broadcasts that each deliver fully can never observe a
+// fraction other than exactly 1. (With the pair as two independent
+// atomics, a snapshot between the two bumps reports a transiently wrong
+// fraction — this test, under -race or just enough iterations, catches
+// that.)
+func TestChaosStatsSnapshotConsistency(t *testing.T) {
+	g := graph.Complete(16)
+	sources := []int{0, 1, 2, 3}
+
+	// Pre-verify serially which single-edge-kill runs deliver fully with
+	// retries on; only those go into the concurrent phase, so fraction 1
+	// is the exact invariant, not an approximation.
+	probe := New(Config{PackSeed: 1})
+	pid, err := probe.RegisterGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		seed uint64
+		plan cast.FaultPlan
+	}
+	var jobs []job
+	for seed := uint64(1); len(jobs) < 16 && seed < 256; seed++ {
+		plan := cast.FaultPlan{Round: 1, RandomEdges: 1, Seed: seed, MaxRetries: 2}
+		fres, err := probe.BroadcastFaulted(context.Background(), pid, Spanning, sources, seed, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fres.DeliveredFraction == 1 {
+			jobs = append(jobs, job{seed, plan})
+		}
+	}
+	if len(jobs) < 8 {
+		t.Fatalf("only %d fully-delivering fault runs found", len(jobs))
+	}
+
+	s := New(Config{PackSeed: 1, MaxConcurrent: 8})
+	id, err := s.RegisterGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var torn atomic.Value // first inconsistent snapshot, as a string
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if st.DeliveredFraction != 1 {
+					torn.CompareAndSwap(nil, fmt.Sprintf("global fraction %v", st.DeliveredFraction))
+				}
+				for _, pg := range st.PerGraph {
+					if pg.DeliveredFraction != 1 {
+						torn.CompareAndSwap(nil, fmt.Sprintf("per-graph fraction %v", pg.DeliveredFraction))
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				if _, err := s.BroadcastFaulted(context.Background(), id, Spanning, sources, j.seed, j.plan); err != nil {
+					t.Error(err)
+				}
+			}(j)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if msg := torn.Load(); msg != nil {
+		t.Fatalf("torn chaos snapshot observed: %v", msg)
+	}
+	if st := s.Stats(); st.DeliveredFraction != 1 || st.FaultedRequests != uint64(4*len(jobs)) {
+		t.Fatalf("final stats wrong: %+v", st)
 	}
 }

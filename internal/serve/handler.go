@@ -5,7 +5,17 @@
 //	GET  /v1/graphs/{id}                                              -> {"id":..,"n":..,"m":..}
 //	POST /v1/graphs/{id}/decomposition   {"kind":"dominating"|"spanning"} -> DecompInfo
 //	POST /v1/graphs/{id}/broadcast       {"kind":..,"sources":[..],"seed":..} -> BroadcastResponse
+//	POST /v1/graphs/{id}/broadcast/batch {"kind":..,"demands":[{"sources":[..],"seed":..},..]} -> BatchResponse
 //	GET  /v1/stats                                                    -> Stats
+//
+// The batch endpoint also has a streaming mode (?stream=1): instead of
+// one response after the whole batch, it emits newline-delimited JSON
+// BatchEvents — one per completed demand, in completion order, then a
+// terminal summary event — as they happen. With an Accept header of
+// text/event-stream the same events are framed as SSE data lines. The
+// events come off the service's in-process bus; a client that reads too
+// slowly loses oldest-first (counted in stats.events_dropped) but always
+// receives the terminal summary.
 package serve
 
 import (
@@ -42,6 +52,24 @@ type BroadcastRequest struct {
 	Sources []int           `json:"sources"`
 	Seed    uint64          `json:"seed"`
 	Fault   *cast.FaultPlan `json:"fault,omitempty"`
+}
+
+// BatchRequest is the POST /v1/graphs/{id}/broadcast/batch payload:
+// N demands served over one decomposition checkout.
+type BatchRequest struct {
+	Kind    Kind          `json:"kind"`
+	Demands []BatchDemand `json:"demands"`
+}
+
+// BatchResponse is the non-streaming batch reply: per-demand entries in
+// demand order (individual failures are entries, not request errors)
+// plus the batch summary.
+type BatchResponse struct {
+	GraphID string       `json:"graph_id"`
+	Kind    Kind         `json:"kind"`
+	BatchID uint64       `json:"batch_id"`
+	Summary BatchSummary `json:"summary"`
+	Entries []BatchEntry `json:"entries"`
 }
 
 // FaultInfo is the fault accounting of a chaos-mode broadcast.
@@ -146,10 +174,83 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("POST /v1/graphs/{id}/broadcast/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		id := r.PathValue("id")
+		if r.URL.Query().Get("stream") == "1" {
+			streamBatch(s, w, r, id, req)
+			return
+		}
+		res, err := s.BroadcastBatch(r.Context(), id, req.Kind, req.Demands)
+		if err != nil {
+			writeError(w, statusFor(s, id), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{
+			GraphID: id, Kind: req.Kind, BatchID: res.BatchID,
+			Summary: res.Summary, Entries: res.Entries,
+		})
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	return mux
+}
+
+// streamBatch serves the batch's per-demand completion events as they
+// happen. Request-level validation (and the single pack-cache checkout)
+// runs before the first byte, so errors still get proper status codes;
+// after that the response is a 200 event stream regardless of
+// individual demand outcomes.
+func streamBatch(s *Service, w http.ResponseWriter, r *http.Request, id string, req BatchRequest) {
+	e, pe, err := s.prepareBatch(id, req.Kind, req.Demands)
+	if err != nil {
+		writeError(w, statusFor(s, id), err)
+		return
+	}
+	sse := r.Header.Get("Accept") == "text/event-stream"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	batchID := s.batchSeq.Add(1)
+	sub := s.bus.subscribe(batchID, s.cfg.StreamBuffer)
+	defer s.bus.unsubscribe(sub)
+	go s.runBatch(r.Context(), e, pe, req.Demands, batchID)
+
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev := <-sub.Events():
+			if sse {
+				fmt.Fprintf(w, "data: ")
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if sse {
+				fmt.Fprintf(w, "\n")
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Type == EventSummary {
+				return
+			}
+		case <-r.Context().Done():
+			// Client gone: the batch itself keeps winding down under its
+			// cancelled request context; nothing left to stream.
+			return
+		}
+	}
 }
 
 // statusFor distinguishes "graph does not exist" (404) from request

@@ -1,34 +1,95 @@
-// The closed-loop load generator: K workers each issue M demands
-// back-to-back against a Service (a new demand is submitted the moment
-// the previous one returns), the standard closed-loop model for
-// saturating a bounded-concurrency server. Demands are derived
-// deterministically from (Seed, worker, demand index), so a load run is
-// replayable demand for demand.
+// The load generator, in two traffic shapes:
+//
+//   - Closed loop (the default): K workers each issue M demands
+//     back-to-back — a new demand is submitted the moment the previous
+//     one returns — the standard model for saturating a
+//     bounded-concurrency server and measuring its throughput ceiling.
+//   - Open loop (ArrivalRate > 0): demands arrive on a deterministic
+//     schedule with exponential interarrival gaps drawn from the seeded
+//     PCG, independent of how fast the service drains them. This is the
+//     shape real traffic has, and the one that exposes latency: below
+//     saturation the percentiles track service time, above it queueing
+//     delay grows without bound (or, with MaxPending set, admission
+//     control starts rejecting arrivals).
+//
+// Everything randomized — demand streams, per-demand run seeds, the
+// arrival schedule, the faulted subset, and per-plan kill seeds — is
+// derived from (Seed, FaultSeed) through disjoint ds.SplitSeed domains,
+// so no two families can collide and a load run is replayable demand
+// for demand. Wall-clock fields (Elapsed, rates, latency percentiles,
+// MaxPendingSeen) are the only parts of a report that vary across runs
+// of the same config.
 package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cast"
 	"repro/internal/ds"
+	"repro/internal/graph"
 )
 
-// LoadConfig describes one closed-loop load run.
+// Seed-family domains. Each family is derived by splitting the config
+// seed by its domain first and by the member index second, so the
+// demand-stream, run-seed, arrival, and fault families are pairwise
+// disjoint for every (worker, demand) index — unlike additive schemes,
+// where cfg.Seed+w*c and cfg.Seed+w*M+d overlap for some indices.
+const (
+	loadDomainDemands   = 1 // per-worker demand streams
+	loadDomainRuns      = 2 // per-demand broadcast run seeds
+	loadDomainArrivals  = 3 // open-loop interarrival gaps
+	loadDomainFaultPick = 4 // which demands run faulted (from FaultSeed)
+	loadDomainFaultPlan = 5 // per-plan kill-set seeds (from FaultSeed)
+)
+
+// loadSeed derives member index of the given seed family.
+func loadSeed(base, domain, index uint64) uint64 {
+	d, _ := ds.SplitSeed(base, domain)
+	s, _ := ds.SplitSeed(d, index)
+	return s
+}
+
+// loadRand opens the PCG stream for member index of the seed family.
+func loadRand(base, domain, index uint64) *rand.Rand {
+	d, _ := ds.SplitSeed(base, domain)
+	return ds.SplitRand(d, index)
+}
+
+// LoadConfig describes one load run.
 type LoadConfig struct {
 	GraphID string
 	Kind    Kind
 	// Workers is K, the number of concurrent closed loops (default 1).
+	// Ignored in open-loop mode, where concurrency follows arrivals.
 	Workers int
 	// Demands is M, demands issued per worker (default 1).
 	Demands int
 	// MsgsPerDemand sizes each demand (default n, the graph order).
 	MsgsPerDemand int
-	// Seed derives every worker's demand stream and run seeds.
+	// Seed derives the demand streams, per-demand run seeds, and the
+	// open-loop arrival schedule (disjoint SplitSeed domains).
 	Seed uint64
+
+	// ArrivalRate > 0 switches to open-loop mode: demands arrive at this
+	// average rate (per second) with exponential interarrival gaps drawn
+	// deterministically from Seed, regardless of completion speed.
+	ArrivalRate float64
+	// Arrivals is the open-loop total demand count (default Workers ×
+	// Demands, so a config converts between modes without resizing).
+	Arrivals int
+	// MaxPending bounds in-flight open-loop demands: an arrival that
+	// finds MaxPending demands still running is rejected (admission
+	// control) instead of queued. 0 means unbounded — overload then
+	// shows up as queueing delay in the latency percentiles.
+	MaxPending int
 
 	// Chaos mode: FaultRate in (0, 1] makes a seeded subset of demands
 	// run under a fault plan (each demand is faulted independently with
@@ -36,7 +97,7 @@ type LoadConfig struct {
 	// the same chaos run demand for demand). Zero disables chaos.
 	FaultRate float64
 	// FaultSeed derives both the faulted-demand subset and each plan's
-	// kill-set seed.
+	// kill-set seed (disjoint SplitSeed domains).
 	FaultSeed uint64
 	// FaultEdges and FaultVertices size each plan's random kill set.
 	// When chaos is on and both are zero, one random edge is killed.
@@ -50,10 +111,23 @@ type LoadConfig struct {
 	FaultRetries int
 }
 
-// LoadReport aggregates a load run.
+// LoadReport aggregates a load run. The non-wall-clock fields (counts,
+// rounds, chaos accounting) are a pure function of the config; Elapsed,
+// the rates, the latency percentiles, and MaxPendingSeen measure this
+// particular execution.
 type LoadReport struct {
-	Workers       int           `json:"workers"`
-	Demands       int           `json:"demands"` // total = Workers × Demands
+	Mode    string `json:"mode"` // "closed" or "open"
+	Workers int    `json:"workers"`
+	// Demands is the run's target: Workers × Demands closed-loop,
+	// Arrivals open-loop. Completed counts demands that actually ran to
+	// completion — fewer than Demands when the run stopped on an error
+	// or rejected arrivals at admission.
+	Demands   int `json:"demands"`
+	Completed int `json:"completed"`
+	// Rejected counts open-loop arrivals dropped by admission control
+	// (MaxPending).
+	Rejected int `json:"rejected,omitempty"`
+	// Messages counts messages disseminated by completed demands.
 	Messages      int           `json:"messages"`
 	Rounds        uint64        `json:"rounds"` // scheduler rounds, summed
 	Elapsed       time.Duration `json:"elapsed"`
@@ -61,6 +135,20 @@ type LoadReport struct {
 	// MsgsPerRound is the aggregate dissemination throughput: total
 	// messages over total scheduler rounds.
 	MsgsPerRound float64 `json:"msgs_per_round"`
+
+	// Open-loop latency distribution over completed demands, measured
+	// from the scheduled arrival to completion — so dispatcher lag and
+	// semaphore queueing count alongside service time, and a saturated
+	// run cannot hide its queueing delay behind a slow dispatcher
+	// (coordinated omission).
+	ArrivalRate float64       `json:"arrival_rate,omitempty"`
+	LatencyP50  time.Duration `json:"latency_p50,omitempty"`
+	LatencyP95  time.Duration `json:"latency_p95,omitempty"`
+	LatencyP99  time.Duration `json:"latency_p99,omitempty"`
+	LatencyMax  time.Duration `json:"latency_max,omitempty"`
+	// MaxPendingSeen is the peak number of concurrently in-flight
+	// demands (open loop) — the overload signal when MaxPending is 0.
+	MaxPendingSeen int `json:"max_pending_seen,omitempty"`
 
 	// Chaos accounting, aggregated over the faulted demands only.
 	FaultedDemands int `json:"faulted_demands"`
@@ -71,10 +159,35 @@ type LoadReport struct {
 	DeliveredFraction float64 `json:"delivered_fraction"`
 }
 
-// GenerateLoad runs the closed loop against the service and reports
-// aggregate throughput. The decomposition is forced into the cache
-// before the clock starts, so the report measures steady-state serving,
-// not the first packing.
+// loadCounts is the per-worker (or per-demand) accounting folded into
+// the report under one mutex.
+type loadCounts struct {
+	completed int
+	rounds    uint64
+	faulted   int
+	lost      int
+	retries   int
+	pairsD    int
+	pairsE    int
+}
+
+func (c *loadCounts) fold(o loadCounts) {
+	c.completed += o.completed
+	c.rounds += o.rounds
+	c.faulted += o.faulted
+	c.lost += o.lost
+	c.retries += o.retries
+	c.pairsD += o.pairsD
+	c.pairsE += o.pairsE
+}
+
+// GenerateLoad runs the configured load shape against the service and
+// reports aggregate throughput (and, open-loop, the latency
+// distribution). The decomposition is forced into the cache before the
+// clock starts, so the report measures steady-state serving, not the
+// first packing. On a demand error the run stops (in-flight demands are
+// cancelled, no new ones start) and the partial report is returned
+// alongside the error, so the caller still sees how far the run got.
 func GenerateLoad(s *Service, cfg LoadConfig) (LoadReport, error) {
 	g, ok := s.Graph(cfg.GraphID)
 	if !ok {
@@ -92,128 +205,286 @@ func GenerateLoad(s *Service, cfg LoadConfig) (LoadReport, error) {
 	if _, err := s.Decompose(cfg.GraphID, cfg.Kind); err != nil {
 		return LoadReport{}, err
 	}
+	if cfg.ArrivalRate > 0 {
+		return generateOpenLoad(s, cfg, g)
+	}
+	return generateClosedLoad(s, cfg, g)
+}
 
+// faultPlanFor builds demand flat-index i's fault plan when the pick
+// stream says the demand is faulted, nil otherwise.
+func faultPlanFor(cfg *LoadConfig, pick *rand.Rand, i uint64) *cast.FaultPlan {
+	if pick == nil || pick.Float64() >= cfg.FaultRate {
+		return nil
+	}
+	edges, vertices := cfg.FaultEdges, cfg.FaultVertices
+	if edges == 0 && vertices == 0 {
+		edges = 1
+	}
+	round := cfg.FaultRound
+	if round <= 0 {
+		round = 1
+	}
+	return &cast.FaultPlan{
+		Round:          round,
+		RandomEdges:    edges,
+		RandomVertices: vertices,
+		Seed:           loadSeed(cfg.FaultSeed, loadDomainFaultPlan, i),
+		MaxRetries:     cfg.FaultRetries,
+	}
+}
+
+// runLoadDemand issues one demand (faulted or healthy) and folds its
+// outcome into c.
+func runLoadDemand(ctx context.Context, s *Service, cfg *LoadConfig, dem cast.Demand, seed uint64, plan *cast.FaultPlan, c *loadCounts) error {
+	if plan != nil {
+		fres, err := s.BroadcastFaulted(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed, *plan)
+		if err != nil {
+			return err
+		}
+		c.faulted++
+		c.lost += fres.MessagesLost
+		c.retries += fres.Retries
+		c.pairsD += fres.PairsDelivered
+		c.pairsE += fres.PairsExpected
+		c.completed++
+		c.rounds += uint64(fres.Rounds)
+		return nil
+	}
+	res, err := s.BroadcastContext(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed)
+	if err != nil {
+		return err
+	}
+	c.completed++
+	c.rounds += uint64(res.Rounds)
+	return nil
+}
+
+// generateClosedLoad is the K-workers × M-demands closed loop. The
+// first demand error cancels the shared context: in-flight demands
+// abort, no worker starts another, and every worker's counters are
+// folded into the report on the way out (error or not).
+func generateClosedLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport, error) {
 	// Worker demand streams and fault plans, derived before the clock
-	// starts. The faulted subset and every plan seed come from FaultSeed
-	// alone, so a chaos run is as replayable as a healthy one.
+	// starts so the run itself is pure serving.
 	demands := make([][]cast.Demand, cfg.Workers)
 	var plans [][]*cast.FaultPlan
 	if cfg.FaultRate > 0 {
 		plans = make([][]*cast.FaultPlan, cfg.Workers)
 	}
-	faultEdges, faultVertices := cfg.FaultEdges, cfg.FaultVertices
-	if cfg.FaultRate > 0 && faultEdges == 0 && faultVertices == 0 {
-		faultEdges = 1
-	}
-	faultRound := cfg.FaultRound
-	if faultRound <= 0 {
-		faultRound = 1
-	}
 	for w := range demands {
-		rng := ds.NewRand(cfg.Seed + uint64(w)*0x9e3779b9)
+		rng := loadRand(cfg.Seed, loadDomainDemands, uint64(w))
 		demands[w] = make([]cast.Demand, cfg.Demands)
-		var frng *rand.Rand
+		var pick *rand.Rand
 		if cfg.FaultRate > 0 {
 			plans[w] = make([]*cast.FaultPlan, cfg.Demands)
-			frng = ds.SplitRand(cfg.FaultSeed, uint64(w))
+			pick = loadRand(cfg.FaultSeed, loadDomainFaultPick, uint64(w))
 		}
 		for d := range demands[w] {
 			demands[w][d] = cast.UniformDemand(g.N(), cfg.MsgsPerDemand, rng)
-			if frng != nil && frng.Float64() < cfg.FaultRate {
-				planSeed, _ := ds.SplitSeed(cfg.FaultSeed, uint64(w*cfg.Demands+d))
-				plans[w][d] = &cast.FaultPlan{
-					Round:          faultRound,
-					RandomEdges:    faultEdges,
-					RandomVertices: faultVertices,
-					Seed:           planSeed,
-					MaxRetries:     cfg.FaultRetries,
-				}
+			if pick != nil {
+				plans[w][d] = faultPlanFor(&cfg, pick, uint64(w)*uint64(cfg.Demands)+uint64(d))
 			}
 		}
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		rounds  uint64
-		first   error
-		faulted int
-		lost    int
-		retries int
-		pairsD  int
-		pairsE  int
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total loadCounts
+		first error
 	)
-	ctx := context.Background()
+	fail := func(err error) {
+		mu.Lock()
+		// A context.Canceled after the first failure is just the stop
+		// signal echoing back through another worker, not a new error.
+		if first == nil && !errors.Is(err, context.Canceled) {
+			first = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var local uint64
-			var lFaulted, lLost, lRetries, lPairsD, lPairsE int
+			var local loadCounts
+			defer func() {
+				mu.Lock()
+				total.fold(local)
+				mu.Unlock()
+			}()
 			for d, dem := range demands[w] {
-				seed := cfg.Seed + uint64(w*cfg.Demands+d)
-				var (
-					res cast.Result
-					err error
-				)
-				if plans != nil && plans[w][d] != nil {
-					var fres cast.FaultResult
-					fres, err = s.BroadcastFaulted(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed, *plans[w][d])
-					if err == nil {
-						res = fres.Result
-						lFaulted++
-						lLost += fres.MessagesLost
-						lRetries += fres.Retries
-						lPairsD += fres.PairsDelivered
-						lPairsE += fres.PairsExpected
-					}
-				} else {
-					res, err = s.Broadcast(cfg.GraphID, cfg.Kind, dem.Sources, seed)
-				}
-				if err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
+				if ctx.Err() != nil {
 					return
 				}
-				local += uint64(res.Rounds)
+				var plan *cast.FaultPlan
+				if plans != nil {
+					plan = plans[w][d]
+				}
+				seed := loadSeed(cfg.Seed, loadDomainRuns, uint64(w)*uint64(cfg.Demands)+uint64(d))
+				if err := runLoadDemand(ctx, s, &cfg, dem, seed, plan, &local); err != nil {
+					fail(err)
+					return
+				}
 			}
-			mu.Lock()
-			rounds += local
-			faulted += lFaulted
-			lost += lLost
-			retries += lRetries
-			pairsD += lPairsD
-			pairsE += lPairsE
-			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if first != nil {
-		return LoadReport{}, first
-	}
 
-	total := cfg.Workers * cfg.Demands
-	rep := LoadReport{
-		Workers:           cfg.Workers,
-		Demands:           total,
-		Messages:          total * cfg.MsgsPerDemand,
-		Rounds:            rounds,
-		Elapsed:           elapsed,
-		FaultedDemands:    faulted,
-		MessagesLost:      lost,
-		Retries:           retries,
-		DeliveredFraction: deliveredFraction(uint64(pairsD), uint64(pairsE)),
-	}
-	if secs := elapsed.Seconds(); secs > 0 {
-		rep.DemandsPerSec = float64(total) / secs
-	}
-	if rounds > 0 {
-		rep.MsgsPerRound = float64(rep.Messages) / float64(rounds)
+	rep := buildLoadReport("closed", &cfg, cfg.Workers*cfg.Demands, total, elapsed)
+	rep.Workers = cfg.Workers
+	if first != nil {
+		return rep, first
 	}
 	return rep, nil
+}
+
+// generateOpenLoad is the open-loop arrival process: a dispatcher
+// releases demands on the precomputed schedule, each runs in its own
+// goroutine (the service's MaxConcurrent bound turns excess arrivals
+// into queueing delay), and per-demand latency is captured from
+// scheduled arrival to completion.
+func generateOpenLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport, error) {
+	arrivals := cfg.Arrivals
+	if arrivals <= 0 {
+		arrivals = cfg.Workers * cfg.Demands
+	}
+
+	// Demand stream, run seeds, fault plans, and the arrival schedule,
+	// all precomputed: the schedule's exponential gaps come from the
+	// seeded PCG, so two runs of one config arrive identically.
+	demands := make([]cast.Demand, arrivals)
+	plans := make([]*cast.FaultPlan, arrivals)
+	rng := loadRand(cfg.Seed, loadDomainDemands, 0)
+	var pick *rand.Rand
+	if cfg.FaultRate > 0 {
+		pick = loadRand(cfg.FaultSeed, loadDomainFaultPick, 0)
+	}
+	for i := range demands {
+		demands[i] = cast.UniformDemand(g.N(), cfg.MsgsPerDemand, rng)
+		plans[i] = faultPlanFor(&cfg, pick, uint64(i))
+	}
+	offsets := make([]time.Duration, arrivals)
+	arng := loadRand(cfg.Seed, loadDomainArrivals, 0)
+	var cum float64
+	for i := range offsets {
+		cum += arng.ExpFloat64() / cfg.ArrivalRate
+		offsets[i] = time.Duration(cum * float64(time.Second))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    loadCounts
+		lats     []time.Duration
+		first    error
+		pending  atomic.Int64
+		maxPend  atomic.Int64
+		rejected int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil && !errors.Is(err, context.Canceled) {
+			first = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	start := time.Now()
+	for i := 0; i < arrivals; i++ {
+		if wait := offsets[i] - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if cfg.MaxPending > 0 && int(pending.Load()) >= cfg.MaxPending {
+			rejected++
+			continue
+		}
+		maxInt64(&maxPend, pending.Add(1))
+		arrived := start.Add(offsets[i])
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer pending.Add(-1)
+			var local loadCounts
+			err := runLoadDemand(ctx, s, &cfg, demands[i], loadSeed(cfg.Seed, loadDomainRuns, uint64(i)), plans[i], &local)
+			lat := time.Since(arrived)
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			total.fold(local)
+			lats = append(lats, lat)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := buildLoadReport("open", &cfg, arrivals, total, elapsed)
+	rep.Rejected = rejected
+	rep.ArrivalRate = cfg.ArrivalRate
+	rep.MaxPendingSeen = int(maxPend.Load())
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.LatencyP50 = percentile(lats, 0.50)
+	rep.LatencyP95 = percentile(lats, 0.95)
+	rep.LatencyP99 = percentile(lats, 0.99)
+	if n := len(lats); n > 0 {
+		rep.LatencyMax = lats[n-1]
+	}
+	if first != nil {
+		return rep, first
+	}
+	return rep, nil
+}
+
+// buildLoadReport assembles the fields shared by both loop shapes.
+func buildLoadReport(mode string, cfg *LoadConfig, target int, c loadCounts, elapsed time.Duration) LoadReport {
+	rep := LoadReport{
+		Mode:              mode,
+		Demands:           target,
+		Completed:         c.completed,
+		Messages:          c.completed * cfg.MsgsPerDemand,
+		Rounds:            c.rounds,
+		Elapsed:           elapsed,
+		FaultedDemands:    c.faulted,
+		MessagesLost:      c.lost,
+		Retries:           c.retries,
+		DeliveredFraction: deliveredFraction(uint64(c.pairsD), uint64(c.pairsE)),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.DemandsPerSec = float64(c.completed) / secs
+	}
+	if c.rounds > 0 {
+		rep.MsgsPerRound = float64(rep.Messages) / float64(c.rounds)
+	}
+	return rep
+}
+
+// percentile returns the nearest-rank q-quantile of an ascending slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }

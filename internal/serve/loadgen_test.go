@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestLoadSeedDomainsDisjoint is the seed-collision regression: the old
+// additive derivation (cfg.Seed + w*c for streams, cfg.Seed + w*M + d
+// for runs) made families overlap for small indices. The SplitSeed
+// double-split must keep every (domain, index) pair distinct.
+func TestLoadSeedDomainsDisjoint(t *testing.T) {
+	const base, perDomain = 42, 512
+	domains := []uint64{loadDomainDemands, loadDomainRuns, loadDomainArrivals, loadDomainFaultPick, loadDomainFaultPlan}
+	seen := make(map[uint64]string, len(domains)*perDomain)
+	for _, dom := range domains {
+		for i := uint64(0); i < perDomain; i++ {
+			s := loadSeed(base, dom, i)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("seed collision: (domain %d, index %d) == %s", dom, i, prev)
+			}
+			seen[s] = ""
+		}
+	}
+}
+
+// TestGenerateLoadOpenLoop runs the open-loop shape end to end: every
+// arrival completes (no admission bound), the latency distribution is
+// populated and ordered, and the service accounting matches the report.
+func TestGenerateLoadOpenLoop(t *testing.T) {
+	g := graph.Complete(16)
+	s := New(Config{PackSeed: 1, MaxConcurrent: 4})
+	id := mustRegister(t, s, g)
+	rep, err := GenerateLoad(s, LoadConfig{
+		GraphID: id, Kind: Spanning, MsgsPerDemand: g.N(),
+		Seed: 7, ArrivalRate: 2000, Arrivals: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.Demands != 32 || rep.Completed != 32 || rep.Rejected != 0 {
+		t.Fatalf("open-loop accounting wrong: %+v", rep)
+	}
+	if rep.LatencyP50 <= 0 || rep.LatencyP50 > rep.LatencyP95 || rep.LatencyP95 > rep.LatencyP99 || rep.LatencyP99 > rep.LatencyMax {
+		t.Fatalf("latency percentiles degenerate or unordered: %+v", rep)
+	}
+	if rep.MaxPendingSeen < 1 {
+		t.Fatalf("no demand ever pending: %+v", rep)
+	}
+	if st := s.Stats(); st.Requests != 32 || st.Rounds != rep.Rounds || st.PackComputes != 1 {
+		t.Fatalf("service stats disagree with report: stats=%+v report=%+v", st, rep)
+	}
+}
+
+// TestGenerateLoadOpenLoopReplayable pins the acceptance criterion that
+// two runs of one config are byte-identical apart from wall-clock
+// fields: with Elapsed, the rates, the latency percentiles, and
+// MaxPendingSeen zeroed, the reports must compare equal — demands, run
+// seeds, arrival schedule, and the chaos subset are all derived, not
+// drawn ad hoc.
+func TestGenerateLoadOpenLoopReplayable(t *testing.T) {
+	g := testGraph()
+	cfg := LoadConfig{
+		Kind: Spanning, MsgsPerDemand: 8,
+		Seed: 11, ArrivalRate: 4000, Arrivals: 24,
+		FaultRate: 0.5, FaultSeed: 5, FaultEdges: 1, FaultRetries: 2,
+	}
+	run := func() LoadReport {
+		s := New(Config{PackSeed: 1, MaxConcurrent: 4})
+		cfg := cfg
+		cfg.GraphID = mustRegister(t, s, g)
+		rep, err := GenerateLoad(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep, rep2 := run(), run()
+	if rep.FaultedDemands == 0 || rep.FaultedDemands == rep.Completed {
+		t.Fatalf("FaultRate=0.5 faulted %d of %d demands — pick stream suspect", rep.FaultedDemands, rep.Completed)
+	}
+	for _, r := range []*LoadReport{&rep, &rep2} {
+		r.Elapsed, r.DemandsPerSec = 0, 0
+		r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMax = 0, 0, 0, 0
+		r.MaxPendingSeen = 0
+	}
+	if rep != rep2 {
+		t.Fatalf("open-loop run not replayable:\n%+v\n%+v", rep, rep2)
+	}
+}
+
+// TestGenerateLoadAdmission pins admission control: with one execution
+// slot and MaxPending 1, a flood of near-simultaneous arrivals must see
+// rejections, every arrival is accounted exactly once, and the pending
+// gauge never exceeds the bound.
+func TestGenerateLoadAdmission(t *testing.T) {
+	g := graph.Complete(16)
+	s := New(Config{PackSeed: 1, MaxConcurrent: 1})
+	id := mustRegister(t, s, g)
+	rep, err := GenerateLoad(s, LoadConfig{
+		GraphID: id, Kind: Spanning, MsgsPerDemand: 4 * g.N(),
+		Seed: 3, ArrivalRate: 1e7, Arrivals: 64, MaxPending: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Rejected != rep.Demands {
+		t.Fatalf("arrivals unaccounted: completed %d + rejected %d != %d", rep.Completed, rep.Rejected, rep.Demands)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("instantaneous arrivals against MaxPending=1 never rejected: %+v", rep)
+	}
+	if rep.MaxPendingSeen > 1 {
+		t.Fatalf("pending exceeded the admission bound: %+v", rep)
+	}
+	if st := s.Stats(); st.Requests != uint64(rep.Completed) {
+		t.Fatalf("service served %d demands, report completed %d", st.Requests, rep.Completed)
+	}
+}
+
+// TestGenerateLoadFirstError pins the stop-on-first-error contract in
+// both shapes: when every demand fails validation, the run returns the
+// underlying error (not a context.Canceled echo), reports zero
+// completions, and leaves no served demands in the stats.
+func TestGenerateLoadFirstError(t *testing.T) {
+	g := graph.Complete(12)
+	for _, cfg := range []LoadConfig{
+		{Kind: Spanning, Workers: 4, Demands: 8, MsgsPerDemand: 8, Seed: 3},
+		{Kind: Spanning, MsgsPerDemand: 8, Seed: 3, ArrivalRate: 5000, Arrivals: 16},
+	} {
+		s := New(Config{PackSeed: 1, MaxConcurrent: 4, MaxMsgsPerDemand: 4})
+		cfg.GraphID = mustRegister(t, s, g)
+		rep, err := GenerateLoad(s, cfg)
+		if err == nil {
+			t.Fatalf("%s: oversized demands not reported", rep.Mode)
+		}
+		if err == context.Canceled || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("first error masked: %v", err)
+		}
+		if rep.Completed != 0 || rep.Messages != 0 {
+			t.Fatalf("failed run reported progress: %+v", rep)
+		}
+		if st := s.Stats(); st.Requests != 0 {
+			t.Fatalf("failed demands counted as served: %+v", st)
+		}
+	}
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// MaxMsgsPerDemand bounds a single demand's message count; oversized
 	// demands are rejected before any scheduler work. Default 65536.
 	MaxMsgsPerDemand int
+	// MaxBatch bounds how many demands one BroadcastBatch call may
+	// carry; oversized batches are rejected whole. Default 1024.
+	MaxBatch int
+	// StreamBuffer is the event-bus buffer per streaming subscriber;
+	// a subscriber that falls further behind loses its oldest events
+	// (drop-oldest, counted in stats). Default 256.
+	StreamBuffer int
 }
 
 // Service is the concurrent decomposition service. All methods are safe
@@ -82,16 +89,47 @@ type Service struct {
 	rounds       atomic.Uint64 // scheduler rounds across all demands
 	packRequests atomic.Uint64 // decomposition requests (incl. cached)
 	packComputes atomic.Uint64 // packings actually computed
-	cacheHits    atomic.Uint64 // decomposition requests served from cache
+	cacheHits    atomic.Uint64 // requests served from a completed cache entry
+	coalesced    atomic.Uint64 // requests that waited on an in-flight packing
 	maxVCong     atomic.Int64  // max per-demand vertex congestion seen
 	maxECong     atomic.Int64  // max per-demand edge congestion seen
 
-	// Chaos-mode counters (faulted broadcasts only).
+	// Chaos-mode counters (faulted broadcasts only). The delivered/
+	// expected pair lives behind one mutex so a Stats snapshot can never
+	// observe expected bumped without its delivered half (a torn read
+	// would report a transiently wrong delivered fraction).
 	faultedRequests atomic.Uint64 // faulted demands served
 	messagesLost    atomic.Uint64 // messages given up after retries
 	retries         atomic.Uint64 // surviving-tree reroutes performed
-	pairsExpected   atomic.Uint64 // (message, live vertex) delivery targets
-	pairsDelivered  atomic.Uint64 // delivery targets achieved
+	pairs           pairCount     // (message, live vertex) delivery targets vs achieved
+
+	// Streaming path.
+	bus           *eventBus
+	batchSeq      atomic.Uint64 // batch-id allocator (ids start at 1)
+	eventsDropped atomic.Uint64 // events lost to the slow-subscriber policy
+}
+
+// pairCount is the (delivered, expected) chaos accounting pair. Both
+// halves move together under one lock: BroadcastFaulted adds them as a
+// unit and Stats loads them as a unit, so every snapshot sees a
+// consistent delivered fraction.
+type pairCount struct {
+	mu        sync.Mutex
+	delivered uint64
+	expected  uint64
+}
+
+func (p *pairCount) add(delivered, expected int) {
+	p.mu.Lock()
+	p.delivered += uint64(delivered)
+	p.expected += uint64(expected)
+	p.mu.Unlock()
+}
+
+func (p *pairCount) load() (delivered, expected uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.delivered, p.expected
 }
 
 // graphEntry is one registered graph with its per-kind packing cache
@@ -106,6 +144,7 @@ type graphEntry struct {
 	requests  atomic.Uint64
 	rounds    atomic.Uint64
 	cacheHits atomic.Uint64
+	coalesced atomic.Uint64
 	computes  atomic.Uint64
 	maxVCong  atomic.Int64
 	maxECong  atomic.Int64
@@ -113,8 +152,7 @@ type graphEntry struct {
 	faultedRequests atomic.Uint64
 	messagesLost    atomic.Uint64
 	retries         atomic.Uint64
-	pairsExpected   atomic.Uint64
-	pairsDelivered  atomic.Uint64
+	pairs           pairCount
 }
 
 // packEntry is one cached decomposition: the singleflight slot, the
@@ -139,11 +177,19 @@ func New(cfg Config) *Service {
 	if cfg.MaxMsgsPerDemand <= 0 {
 		cfg.MaxMsgsPerDemand = 65536
 	}
-	return &Service{
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.StreamBuffer <= 0 {
+		cfg.StreamBuffer = 256
+	}
+	s := &Service{
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		graphs: make(map[string]*graphEntry),
 	}
+	s.bus = newEventBus(&s.eventsDropped)
+	return s
 }
 
 // GraphID is the registry key: a content hash over the canonical
@@ -246,7 +292,8 @@ type DecompInfo struct {
 // computing and caching it on first request. Concurrent first requests
 // singleflight: exactly one runs the packer, the rest block until it
 // finishes and share the result (or its error, which is cached too —
-// the packers are deterministic, so retrying cannot help).
+// the packers are deterministic, so retrying cannot help). On error the
+// returned info is zero: a failed packing has no trees or size to report.
 func (s *Service) Decompose(id string, kind Kind) (DecompInfo, error) {
 	e, ok := s.lookup(id)
 	if !ok {
@@ -256,13 +303,19 @@ func (s *Service) Decompose(id string, kind Kind) (DecompInfo, error) {
 	if err != nil {
 		return DecompInfo{}, err
 	}
-	return DecompInfo{GraphID: id, Kind: kind, Trees: pe.trees, Size: pe.size, Cached: hit}, pe.err
+	if pe.err != nil {
+		return DecompInfo{}, pe.err
+	}
+	return DecompInfo{GraphID: id, Kind: kind, Trees: pe.trees, Size: pe.size, Cached: hit}, nil
 }
 
 // pack is the singleflight packing cache: the first caller for a
 // (graph, kind) becomes the leader and computes; everyone else waits on
 // the entry's done channel. hit reports whether this caller avoided the
-// computation.
+// computation. A follower that finds the entry already complete is a
+// true cache hit; one that has to block the full pack duration behind
+// the in-flight leader is counted as coalesced instead — the two tell
+// very different latency stories and the stats keep them apart.
 func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
 	if !kind.valid() {
 		return nil, false, fmt.Errorf("serve: unknown decomposition kind %q", kind)
@@ -271,9 +324,15 @@ func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
 	e.mu.Lock()
 	if pe, ok := e.packs[kind]; ok {
 		e.mu.Unlock()
-		<-pe.done
-		s.cacheHits.Add(1)
-		e.cacheHits.Add(1)
+		select {
+		case <-pe.done:
+			s.cacheHits.Add(1)
+			e.cacheHits.Add(1)
+		default:
+			s.coalesced.Add(1)
+			e.coalesced.Add(1)
+			<-pe.done
+		}
 		return pe, true, nil
 	}
 	pe := &packEntry{done: make(chan struct{})}
@@ -384,10 +443,8 @@ func (s *Service) BroadcastFaulted(ctx context.Context, id string, kind Kind, so
 	e.messagesLost.Add(uint64(res.MessagesLost))
 	s.retries.Add(uint64(res.Retries))
 	e.retries.Add(uint64(res.Retries))
-	s.pairsExpected.Add(uint64(res.PairsExpected))
-	e.pairsExpected.Add(uint64(res.PairsExpected))
-	s.pairsDelivered.Add(uint64(res.PairsDelivered))
-	e.pairsDelivered.Add(uint64(res.PairsDelivered))
+	s.pairs.add(res.PairsDelivered, res.PairsExpected)
+	e.pairs.add(res.PairsDelivered, res.PairsExpected)
 	return res, nil
 }
 
@@ -398,16 +455,8 @@ func (s *Service) checkoutDemand(id string, kind Kind, sources []int) (*graphEnt
 	if !ok {
 		return nil, nil, fmt.Errorf("serve: unknown graph %q", id)
 	}
-	if len(sources) == 0 {
-		return nil, nil, fmt.Errorf("serve: empty demand")
-	}
-	if len(sources) > s.cfg.MaxMsgsPerDemand {
-		return nil, nil, fmt.Errorf("serve: demand of %d messages exceeds limit %d", len(sources), s.cfg.MaxMsgsPerDemand)
-	}
-	for i, src := range sources {
-		if src < 0 || src >= e.g.N() {
-			return nil, nil, fmt.Errorf("serve: source %d out of range [0,%d) at index %d", src, e.g.N(), i)
-		}
+	if err := s.validateSources(e, sources); err != nil {
+		return nil, nil, err
 	}
 	pe, _, err := s.pack(e, kind)
 	if err != nil {
@@ -417,6 +466,24 @@ func (s *Service) checkoutDemand(id string, kind Kind, sources []int) (*graphEnt
 		return nil, nil, pe.err
 	}
 	return e, pe, nil
+}
+
+// validateSources checks one demand's source list against the graph and
+// the per-demand message bound (the demand-level half of checkout, also
+// applied per entry by the batch path).
+func (s *Service) validateSources(e *graphEntry, sources []int) error {
+	if len(sources) == 0 {
+		return fmt.Errorf("serve: empty demand")
+	}
+	if len(sources) > s.cfg.MaxMsgsPerDemand {
+		return fmt.Errorf("serve: demand of %d messages exceeds limit %d", len(sources), s.cfg.MaxMsgsPerDemand)
+	}
+	for i, src := range sources {
+		if src < 0 || src >= e.g.N() {
+			return fmt.Errorf("serve: source %d out of range [0,%d) at index %d", src, e.g.N(), i)
+		}
+	}
+	return nil
 }
 
 // runDemand executes one demand under the concurrency bound with a
@@ -470,6 +537,7 @@ type GraphStats struct {
 	Requests            uint64 `json:"requests"`
 	Rounds              uint64 `json:"rounds"`
 	CacheHits           uint64 `json:"cache_hits"`
+	Coalesced           uint64 `json:"coalesced"`
 	PackComputes        uint64 `json:"pack_computes"`
 	MaxVertexCongestion int64  `json:"max_vertex_congestion"`
 	MaxEdgeCongestion   int64  `json:"max_edge_congestion"`
@@ -484,20 +552,29 @@ type GraphStats struct {
 
 // Stats is a snapshot of the service counters.
 type Stats struct {
-	Graphs              int          `json:"graphs"`
-	Requests            uint64       `json:"requests"`
-	Messages            uint64       `json:"messages"`
-	Rounds              uint64       `json:"rounds"`
-	PackRequests        uint64       `json:"pack_requests"`
-	PackComputes        uint64       `json:"pack_computes"`
-	CacheHits           uint64       `json:"cache_hits"`
-	MaxVertexCongestion int64        `json:"max_vertex_congestion"`
-	MaxEdgeCongestion   int64        `json:"max_edge_congestion"`
-	FaultedRequests     uint64       `json:"faulted_requests"`
-	MessagesLost        uint64       `json:"messages_lost"`
-	Retries             uint64       `json:"retries"`
-	DeliveredFraction   float64      `json:"delivered_fraction"`
-	PerGraph            []GraphStats `json:"per_graph"`
+	Graphs       int    `json:"graphs"`
+	Requests     uint64 `json:"requests"`
+	Messages     uint64 `json:"messages"`
+	Rounds       uint64 `json:"rounds"`
+	PackRequests uint64 `json:"pack_requests"`
+	PackComputes uint64 `json:"pack_computes"`
+	// CacheHits counts decomposition requests served from a completed
+	// cache entry; Coalesced the ones that had to wait out an in-flight
+	// packing (singleflight followers). Hits are cheap, coalesced
+	// requests pay the full pack latency — the split keeps the two
+	// distinguishable in latency analysis.
+	CacheHits           uint64  `json:"cache_hits"`
+	Coalesced           uint64  `json:"coalesced"`
+	MaxVertexCongestion int64   `json:"max_vertex_congestion"`
+	MaxEdgeCongestion   int64   `json:"max_edge_congestion"`
+	FaultedRequests     uint64  `json:"faulted_requests"`
+	MessagesLost        uint64  `json:"messages_lost"`
+	Retries             uint64  `json:"retries"`
+	DeliveredFraction   float64 `json:"delivered_fraction"`
+	// EventsDropped counts streaming events lost to the slow-subscriber
+	// drop-oldest policy across all subscribers.
+	EventsDropped uint64       `json:"events_dropped"`
+	PerGraph      []GraphStats `json:"per_graph"`
 }
 
 // Stats snapshots the global and per-graph counters (per-graph entries
@@ -509,6 +586,7 @@ func (s *Service) Stats() Stats {
 		entries = append(entries, s.graphs[id])
 	}
 	s.mu.RUnlock()
+	delivered, expected := s.pairs.load()
 	st := Stats{
 		Graphs:              len(entries),
 		Requests:            s.requests.Load(),
@@ -517,14 +595,17 @@ func (s *Service) Stats() Stats {
 		PackRequests:        s.packRequests.Load(),
 		PackComputes:        s.packComputes.Load(),
 		CacheHits:           s.cacheHits.Load(),
+		Coalesced:           s.coalesced.Load(),
 		MaxVertexCongestion: s.maxVCong.Load(),
 		MaxEdgeCongestion:   s.maxECong.Load(),
 		FaultedRequests:     s.faultedRequests.Load(),
 		MessagesLost:        s.messagesLost.Load(),
 		Retries:             s.retries.Load(),
-		DeliveredFraction:   deliveredFraction(s.pairsDelivered.Load(), s.pairsExpected.Load()),
+		DeliveredFraction:   deliveredFraction(delivered, expected),
+		EventsDropped:       s.eventsDropped.Load(),
 	}
 	for _, e := range entries {
+		gd, ge := e.pairs.load()
 		st.PerGraph = append(st.PerGraph, GraphStats{
 			ID:                  e.id,
 			N:                   e.g.N(),
@@ -532,13 +613,14 @@ func (s *Service) Stats() Stats {
 			Requests:            e.requests.Load(),
 			Rounds:              e.rounds.Load(),
 			CacheHits:           e.cacheHits.Load(),
+			Coalesced:           e.coalesced.Load(),
 			PackComputes:        e.computes.Load(),
 			MaxVertexCongestion: e.maxVCong.Load(),
 			MaxEdgeCongestion:   e.maxECong.Load(),
 			FaultedRequests:     e.faultedRequests.Load(),
 			MessagesLost:        e.messagesLost.Load(),
 			Retries:             e.retries.Load(),
-			DeliveredFraction:   deliveredFraction(e.pairsDelivered.Load(), e.pairsExpected.Load()),
+			DeliveredFraction:   deliveredFraction(gd, ge),
 		})
 	}
 	return st

@@ -103,8 +103,25 @@ func TestSingleflightPacksOnce(t *testing.T) {
 		if st.PackComputes != 1 {
 			t.Fatalf("kind %s: %d packings computed for %d concurrent requests, want exactly 1", kind, st.PackComputes, callers)
 		}
-		if st.PackRequests != callers || st.CacheHits != callers-1 {
-			t.Fatalf("kind %s: requests=%d hits=%d, want %d/%d", kind, st.PackRequests, st.CacheHits, callers, callers-1)
+		// The 15 followers either raced the leader (coalesced) or arrived
+		// after it finished (true cache hit); together they account for
+		// every request but the leader's.
+		if st.PackRequests != callers || st.CacheHits+st.Coalesced != callers-1 {
+			t.Fatalf("kind %s: requests=%d hits=%d coalesced=%d, want %d requests and hits+coalesced=%d",
+				kind, st.PackRequests, st.CacheHits, st.Coalesced, callers, callers-1)
+		}
+		// A sequential re-request against the now-complete entry is a true
+		// cache hit, never coalesced.
+		if _, err := s.Decompose(id, kind); err != nil {
+			t.Fatal(err)
+		}
+		st2 := s.Stats()
+		if st2.CacheHits != st.CacheHits+1 || st2.Coalesced != st.Coalesced {
+			t.Fatalf("kind %s: sequential re-request counted hits %d->%d coalesced %d->%d, want a single cache hit",
+				kind, st.CacheHits, st2.CacheHits, st.Coalesced, st2.Coalesced)
+		}
+		if len(st2.PerGraph) != 1 || st2.PerGraph[0].CacheHits+st2.PerGraph[0].Coalesced != callers {
+			t.Fatalf("kind %s: per-graph hit accounting wrong: %+v", kind, st2.PerGraph)
 		}
 	}
 }
@@ -235,6 +252,16 @@ func TestPackErrorCached(t *testing.T) {
 	}
 	if _, err := s.Broadcast(id, Spanning, []int{0}, 1); err == nil {
 		t.Fatal("broadcast over failed packing succeeded")
+	}
+	// The cached error must come back alone: a populated DecompInfo next
+	// to a non-nil error invites callers into using a packing that does
+	// not exist.
+	info, err := s.Decompose(id, Spanning)
+	if err == nil {
+		t.Fatal("cached pack error not replayed")
+	}
+	if info != (DecompInfo{}) {
+		t.Fatalf("cached pack error returned populated info: %+v", info)
 	}
 	if st := s.Stats(); st.PackComputes != 1 {
 		t.Fatalf("failed packing recomputed: %d computes", st.PackComputes)
