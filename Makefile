@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test fmt-check race fuzz-smoke serve-smoke fingerprint-check bench-short bench bench-check fingerprint clean
+.PHONY: ci verify vet build test fmt-check lint cover race fuzz-smoke serve-smoke fingerprint-check bench-short bench bench-check fingerprint clean
 
-ci: fmt-check verify race fuzz-smoke serve-smoke fingerprint-check bench-short
+ci: fmt-check lint verify race fuzz-smoke serve-smoke fingerprint-check bench-short
 
 verify: vet build test
 
@@ -25,15 +25,40 @@ fmt-check:
 		echo "gofmt -w needed on:"; echo "$$files"; exit 1; \
 	fi
 
+# Project lint suite (internal/lint via cmd/lint): maprange +
+# nondetsource police the determinism contract of the fingerprinted
+# packages, guardedfield polices the `// guards` mutex convention, and
+# allowdirective polices the //repro:allow suppression inventory.
+# Nonzero exit on any finding — a hard CI gate, diagnostics go to the
+# job log.
+lint:
+	$(GO) run ./cmd/lint ./...
+
+# Per-package coverage summary over the whole module, plus a hard floor
+# for internal/lint: the analyzers' edge cases (embedded structs, method
+# values, deferred unlocks, shadowed receivers) must stay covered.
+COVER_FLOOR ?= 85
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@echo "--- total ---"
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	@pct=$$($(GO) test -coverprofile=cover.lint.out ./internal/lint | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/lint coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit (p+0 < f) ? 1 : 0 }' || \
+		{ echo "FAIL: internal/lint coverage $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
 # Race-enabled runs of the packages with real concurrency (the simulator
 # worker pool), the invariant harness that gates the packers, the
 # spanning-tree packers (stpdist drives the worker pool through the MWU
 # loop's per-iteration MSTs), cast (long-lived Scheduler handles plus
-# concurrent clones over one shared core), and serve (the concurrent
+# concurrent clones over one shared core), serve (the concurrent
 # decomposition service: singleflight packing cache, pooled clones,
-# bounded-concurrency demand execution).
+# bounded-concurrency demand execution), and the remaining packages that
+# drive the sim worker pool (cdsdist and dist run their protocols over
+# the persistent engine).
 race:
-	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist ./internal/cast ./internal/serve
+	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist ./internal/cast ./internal/serve ./internal/cdsdist ./internal/dist
 
 # Serving smoke: cmd/serve -selftest drives the full loop in-process
 # over a real HTTP listener — register, concurrent decompositions
@@ -83,4 +108,4 @@ fingerprint:
 	$(GO) run ./cmd/fingerprint
 
 clean:
-	rm -f repro.test *.test *.prof *.out BENCH_local.json
+	rm -f repro.test *.test *.prof *.out cover.out cover.lint.out BENCH_local.json

@@ -1,0 +1,88 @@
+// Command lint runs the project's static-analysis suite (internal/lint)
+// over the module: maprange and nondetsource police the determinism
+// contract of the fingerprinted packages, guardedfield polices the
+// `// guards` mutex convention, and allowdirective polices the
+// //repro:allow suppression inventory itself.
+//
+// Usage:
+//
+//	go run ./cmd/lint                    # every package in the module
+//	go run ./cmd/lint ./internal/graph   # a single package
+//	go run ./cmd/lint -analyzers maprange ./internal/stp
+//	go run ./cmd/lint -list              # describe the analyzers
+//
+// Exit status is nonzero when any finding survives suppression, so
+// `make lint` is a hard CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All {
+			scope := "all packages"
+			if a.FingerprintedOnly {
+				scope = "fingerprinted packages"
+			}
+			fmt.Printf("%-15s (%s)\n    %s\n", a.Name, scope, a.Doc)
+		}
+		return
+	}
+
+	cfg := lint.Config{}
+	if *analyzersFlag != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range lint.All {
+			byName[a.Name] = a
+		}
+		for _, name := range strings.Split(*analyzersFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (known: %s)", name, strings.Join(lint.KnownAnalyzers(), ", "))
+			}
+			cfg.Analyzers = append(cfg.Analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	paths, err := loader.ResolvePatterns(flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := lint.Run(cfg, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s) across %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lint: "+format+"\n", args...)
+	os.Exit(1)
+}

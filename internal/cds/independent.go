@@ -130,6 +130,7 @@ func VerifyIndependent(g *graph.Graph, trees []*graph.Tree, root int) error {
 	for v := 0; v < g.N(); v++ {
 		for a := 0; a < len(trees); a++ {
 			for b := a + 1; b < len(trees); b++ {
+				//repro:allow maprange membership scan: pass/fail is order-independent, only which violating vertex an error names first varies
 				for w := range paths[a][v] {
 					if paths[b][v][w] {
 						return fmt.Errorf("cds: paths to %d in trees %d and %d share internal vertex %d", v, a, b, w)

@@ -311,6 +311,7 @@ func (r *run) assignLayer(layer int) error {
 func (r *run) excess() int {
 	comps := make(map[int32]map[int64]bool)
 	for v := 0; v < r.n; v++ {
+		//repro:allow maprange order-independent fold: every (class, id) pair lands in the same set regardless of visit order
 		for c, id := range r.compID[v] {
 			if comps[c] == nil {
 				comps[c] = make(map[int64]bool)
@@ -319,6 +320,7 @@ func (r *run) excess() int {
 		}
 	}
 	m := 0
+	//repro:allow maprange order-independent sum of per-set excesses
 	for _, set := range comps {
 		if len(set) > 1 {
 			m += len(set) - 1

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -33,7 +35,11 @@ func NewTree(n int, root int, parentOf map[int]int) (*Tree, error) {
 	}
 	t.parent[root] = treeRoot
 	t.vertices = append(t.vertices, int32(root))
-	for v, p := range parentOf {
+	// Sorted-key iteration keeps everything downstream of the map
+	// deterministic — including which entry a validation error names
+	// (maprange would flag a direct range here).
+	for _, v := range slices.Sorted(maps.Keys(parentOf)) {
+		p := parentOf[v]
 		if v == root {
 			if p != -1 {
 				return nil, fmt.Errorf("graph: root %d has parent %d", root, p)

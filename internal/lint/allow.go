@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression-directive marker. Like all Go tool
+// directives it must follow the `//` immediately — `// repro:allow`
+// (with a space) is an ordinary comment, and the allowdirective
+// analyzer flags that near-miss as a probable typo.
+const allowPrefix = "//repro:allow"
+
+// allow is one parsed //repro:allow directive.
+type allow struct {
+	analyzer string // analyzer name the directive names (may be unknown)
+	reason   string // free-text justification (may be empty: linted)
+	file     string
+	line     int       // line the directive sits on
+	target   int       // line whose findings it suppresses
+	pos      token.Pos // position of the directive comment
+	used     bool      // set when a finding was suppressed by it
+}
+
+// parseAllows extracts every //repro:allow directive in the package.
+// An end-of-line directive suppresses findings on its own line; a
+// directive standing alone on its line suppresses findings on the next
+// line (directives stack: a standalone directive immediately above
+// another directive shares that directive's target).
+func parseAllows(pkg *Package) []*allow {
+	var out []*allow
+	for _, f := range pkg.Files {
+		var fileAllows []*allow
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // //repro:allowsomething — not this directive
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				// A nested // starts a trailing remark (test want-markers,
+				// asides), not part of the reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				al := &allow{
+					file: pos.Filename,
+					line: pos.Line,
+					pos:  c.Slash,
+				}
+				if len(fields) > 0 {
+					al.analyzer = fields[0]
+					al.reason = strings.Join(fields[1:], " ")
+				}
+				fileAllows = append(fileAllows, al)
+			}
+		}
+		// Resolve targets bottom-up so stacked standalone directives
+		// chain to the first non-directive line below them.
+		byLine := map[int]*allow{}
+		for _, al := range fileAllows {
+			byLine[al.line] = al
+		}
+		for i := len(fileAllows) - 1; i >= 0; i-- {
+			al := fileAllows[i]
+			if inlineDirective(pkg, al) {
+				al.target = al.line
+				continue
+			}
+			al.target = al.line + 1
+			if next, ok := byLine[al.line+1]; ok && next.target != 0 {
+				al.target = next.target
+			}
+		}
+		out = append(out, fileAllows...)
+	}
+	return out
+}
+
+// inlineDirective reports whether the directive shares its line with
+// code (anything non-blank before the comment marker).
+func inlineDirective(pkg *Package, al *allow) bool {
+	text := pkg.LineText(al.file, al.line)
+	idx := strings.Index(text, allowPrefix)
+	if idx < 0 {
+		return false
+	}
+	return strings.TrimSpace(text[:idx]) != ""
+}
+
+// AllowDirective lints the suppression directives themselves: a
+// directive must name a known analyzer and carry a reason, and the
+// spaced near-miss `// repro:allow` is flagged as a typo. The runner
+// adds the fourth check — a directive whose analyzer ran but that
+// suppressed nothing is stale and reported there.
+var AllowDirective = &Analyzer{
+	Name: "allowdirective",
+	Doc: "validates //repro:allow suppression directives: the analyzer " +
+		"name must exist, a reason is mandatory, near-miss spellings are " +
+		"flagged, and (via the runner) a directive that suppresses nothing " +
+		"is an error",
+	Run: runAllowDirective,
+}
+
+func runAllowDirective(p *Pass) {
+	parsed := map[token.Pos]bool{}
+	for _, al := range parseAllows(p.Pkg) {
+		parsed[al.pos] = true
+		switch {
+		case al.analyzer == "":
+			p.Report(al.pos,
+				"//repro:allow without an analyzer name",
+				"write //repro:allow <analyzer> <reason> with one of: "+strings.Join(KnownAnalyzers(), ", "))
+		case !knownAnalyzer(al.analyzer):
+			p.Reportf(al.pos,
+				"known analyzers: "+strings.Join(KnownAnalyzers(), ", "),
+				"//repro:allow names unknown analyzer %q", al.analyzer)
+		case al.reason == "":
+			p.Reportf(al.pos,
+				"append a justification: //repro:allow "+al.analyzer+" <why this finding is safe>",
+				"//repro:allow %s is missing its reason", al.analyzer)
+		}
+	}
+	// Near-miss spellings (`// repro:allow`, `//repro:allowtypo …`)
+	// never reach parseAllows — they are ordinary comments — so scan for
+	// them separately: a directive that does not parse is worse than one
+	// that fails validation, because it silently suppresses nothing.
+	for _, f := range p.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				trimmed := strings.TrimLeft(strings.TrimPrefix(c.Text, "//"), " \t")
+				if !strings.HasPrefix(trimmed, "repro:allow") || parsed[c.Slash] {
+					continue
+				}
+				p.Report(c.Slash,
+					"malformed suppression directive (it will not suppress anything)",
+					"spell it exactly //repro:allow <analyzer> <reason>, no space after //")
+			}
+		}
+	}
+}
+
+// knownAnalyzer reports whether name is one of the suite's analyzers.
+func knownAnalyzer(name string) bool {
+	for _, n := range analyzerNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

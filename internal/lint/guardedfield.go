@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedField enforces the `// guards a, b` convention on mutex
+// fields: a struct field whose mutex carries that comment may only be
+// read under the guard's Lock/RLock and written under Lock, checked per
+// enclosing function. This is the torn-snapshot bug class PR 7 fixed in
+// the chaos stats (delivered/expected read without the pair's mutex).
+//
+// The check is flow-insensitive by design: a function qualifies by
+// containing a matching lock call on the same base expression anywhere
+// in its body (deferred unlocks and early returns need no modeling),
+// and functions whose name ends in "Locked" are assumed to be called
+// with the guard held. Construction through composite literals is
+// naturally exempt — literal keys are not field selector expressions.
+var GuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc: "flags reads/writes of a `// guards`-annotated mutex-protected " +
+		"struct field in functions that never lock the guard (writes " +
+		"additionally require the exclusive lock, not RLock)",
+	Run: runGuardedField,
+}
+
+// guardInfo ties one guarded field to its mutex.
+type guardInfo struct {
+	guard *types.Var // the mutex field
+	rw    bool       // guard is a sync.RWMutex
+}
+
+func runGuardedField(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(p, guards, fd)
+		}
+	}
+}
+
+// collectGuards parses every `// guards …` field comment in the
+// package's struct types, validating the convention as it goes: the
+// annotated field must be a single sync.Mutex/RWMutex, and every listed
+// name must be a sibling field.
+func collectGuards(p *Pass) map[*types.Var]guardInfo {
+	guards := map[*types.Var]guardInfo{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Pkg.Info.Defs[ts.Name]
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			tstruct, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			collectStructGuards(p, st, tstruct, guards)
+			return true
+		})
+	}
+	return guards
+}
+
+// collectStructGuards reads one struct declaration. Field objects are
+// matched positionally: each name in a field declaration (or the one
+// implicit name of an embedded field) corresponds to the next
+// types.Struct field.
+func collectStructGuards(p *Pass, st *ast.StructType, tstruct *types.Struct, guards map[*types.Var]guardInfo) {
+	byName := map[string]*types.Var{}
+	for i := 0; i < tstruct.NumFields(); i++ {
+		fv := tstruct.Field(i)
+		byName[fv.Name()] = fv
+	}
+	idx := 0
+	for _, field := range st.Fields.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1 // embedded field
+		}
+		names, ok := guardComment(field)
+		if !ok {
+			idx += width
+			continue
+		}
+		guard := tstruct.Field(idx)
+		if width > 1 {
+			p.Report(field.Pos(),
+				"a // guards comment must annotate exactly one mutex field",
+				"declare each guard mutex on its own line")
+			idx += width
+			continue
+		}
+		rw, isMutex := mutexKind(guard.Type())
+		if !isMutex {
+			p.Reportf(field.Pos(),
+				"// guards only applies to sync.Mutex / sync.RWMutex fields",
+				"// guards comment on non-mutex field %s", guard.Name())
+			idx += width
+			continue
+		}
+		if len(names) == 0 {
+			p.Report(field.Pos(),
+				"list the sibling fields the mutex protects: // guards a, b",
+				"// guards comment names no fields")
+		}
+		for _, name := range names {
+			fv, ok := byName[name]
+			if !ok {
+				p.Reportf(field.Pos(),
+					"// guards must list sibling fields of the same struct",
+					"// guards names unknown field %q", name)
+				continue
+			}
+			guards[fv] = guardInfo{guard: guard, rw: rw}
+		}
+		idx += width
+	}
+}
+
+// guardComment extracts the guarded field names from a field's trailing
+// or doc comment line of the form "guards a, b". The second result is
+// false when the field carries no guards comment at all.
+func guardComment(field *ast.Field) ([]string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "guards ")
+			if !ok {
+				continue
+			}
+			// A nested // starts a trailing remark, not a field name.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			var names []string
+			for _, tok := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				names = append(names, strings.TrimSuffix(tok, "."))
+			}
+			return names, true
+		}
+	}
+	return nil, false
+}
+
+// mutexKind reports whether t is sync.Mutex or sync.RWMutex (rw true
+// for the latter).
+func mutexKind(t types.Type) (rw, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// lockSet records which guards a function locks, keyed by the guard
+// field object and the printed base expression it is locked through
+// ("s", "e", "s.pairs", …).
+type lockSet map[lockKey]lockState
+
+type lockKey struct {
+	guard *types.Var
+	base  string
+}
+
+type lockState struct{ exclusive, shared bool }
+
+// checkFunc verifies every guarded-field access in one top-level
+// function. Lock calls anywhere in the function body (including inside
+// closures) qualify the whole function — flow-insensitive, so a lock
+// taken in a deferred closure or before a retry loop never false-
+// positives; the cost is accepting rare lock-then-unlock-then-access
+// patterns, which the race detector still covers.
+func checkFunc(p *Pass, guards map[*types.Var]guardInfo, fd *ast.FuncDecl) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // convention: callers hold the guard
+	}
+	locks := collectLocks(p, guards, fd.Body)
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := p.Pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fv, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		info, ok := guards[fv]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		state := locks[lockKey{info.guard, base}]
+		write := isWrite(stack)
+		switch {
+		case write && !state.exclusive:
+			hint := "lock " + base + "." + info.guard.Name() + " before writing (or rename the function with a Locked suffix)"
+			if state.shared {
+				hint = "upgrade to " + base + "." + info.guard.Name() + ".Lock(): RLock only licenses reads"
+			}
+			p.Reportf(sel.Sel.Pos(), hint,
+				"write to %s.%s without holding %s.%s",
+				base, fv.Name(), base, info.guard.Name())
+		case !write && !state.exclusive && !state.shared:
+			p.Reportf(sel.Sel.Pos(),
+				"lock "+base+"."+info.guard.Name()+" around the read (or rename the function with a Locked suffix)",
+				"read of %s.%s without holding %s.%s",
+				base, fv.Name(), base, info.guard.Name())
+		}
+		return true
+	})
+}
+
+// collectLocks finds every guard Lock/RLock call in body. Two call
+// shapes are recognized: the explicit x.mu.Lock(), and the promoted
+// x.Lock() when the mutex is embedded in x's struct.
+func collectLocks(p *Pass, guards map[*types.Var]guardInfo, body *ast.BlockStmt) lockSet {
+	guardFields := map[*types.Var]bool{}
+	for _, info := range guards {
+		guardFields[info.guard] = true
+	}
+	locks := lockSet{}
+	record := func(guard *types.Var, base, method string) {
+		key := lockKey{guard, base}
+		state := locks[key]
+		switch method {
+		case "Lock":
+			state.exclusive = true
+		case "RLock":
+			state.shared = true
+		}
+		locks[key] = state
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method := sel.Sel.Name
+		if method != "Lock" && method != "RLock" {
+			return true
+		}
+		// Explicit form: base.guard.Lock().
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if selection, ok := p.Pkg.Info.Selections[inner]; ok && selection.Kind() == types.FieldVal {
+				if fv, ok := selection.Obj().(*types.Var); ok && guardFields[fv] {
+					record(fv, types.ExprString(inner.X), method)
+					return true
+				}
+			}
+		}
+		// Promoted form: base.Lock() through an embedded guard mutex.
+		if selection, ok := p.Pkg.Info.Selections[sel]; ok && len(selection.Index()) > 1 {
+			recv := selection.Recv()
+			if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+				recv = ptr.Elem()
+			}
+			if tstruct, isStruct := recv.Underlying().(*types.Struct); isStruct {
+				fv := tstruct.Field(selection.Index()[0])
+				if guardFields[fv] {
+					record(fv, types.ExprString(sel.X), method)
+				}
+			}
+		}
+		return true
+	})
+	return locks
+}
+
+// isWrite reports whether the selector at the top of the stack is in a
+// write position: assignment target, ++/--, address-taken, or the map
+// argument of delete — including through index, dereference, paren, and
+// nested-field chains.
+func isWrite(stack []ast.Node) bool {
+	child := stack[len(stack)-1].(ast.Expr)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+		case *ast.StarExpr:
+			child = parent
+		case *ast.IndexExpr:
+			if parent.X != child {
+				return false // index expression, not the indexed value
+			}
+			child = parent
+		case *ast.SelectorExpr:
+			if parent.X != child {
+				return false
+			}
+			child = parent // writing x.f.g mutates the value held in f
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == child {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return parent.X == child
+		case *ast.UnaryExpr:
+			return parent.Op == token.AND && parent.X == child
+		case *ast.CallExpr:
+			if id, ok := parent.Fun.(*ast.Ident); ok && id.Name == "delete" &&
+				len(parent.Args) > 0 && parent.Args[0] == child {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+// Package lint is the project's static-analysis suite: a stdlib-only
+// analysis driver (go/parser + go/types with the source importer — the
+// module has zero external dependencies and must stay that way) plus
+// the project-specific analyzers that encode this repository's two
+// hardest-won invariants as compile-time checks:
+//
+//   - byte-identical deterministic output (the FINGERPRINT.txt golden):
+//     maprange and nondetsource flag nondeterministic iteration and
+//     entropy sources in the fingerprinted packages, the exact bug
+//     classes PR 1 fixed by hand in stp/stpdist;
+//   - race-free concurrent serving: guardedfield parses the
+//     `// guards a, b` convention on mutex fields and flags accesses of
+//     a guarded field outside a function that locks the guard — the
+//     torn-snapshot class PR 7 fixed in the chaos stats.
+//
+// Findings are suppressed, one at a time and with a recorded reason, by
+// a `//repro:allow <analyzer> <reason>` comment; the directives are
+// themselves linted (unknown analyzer names, missing reasons, and
+// directives that suppress nothing are errors), so the suppression
+// inventory can never rot silently. cmd/lint is the command-line
+// driver; `make lint` runs it over every package in the module and is
+// part of `make ci`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding: a position, the analyzer that
+// produced it, the defect, and a one-line fix hint.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	Hint     string
+}
+
+// String renders the diagnostic in the file:line:col form every Go tool
+// uses, with the fix hint appended.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s (fix: %s)",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message, d.Hint)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/graph").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Fset is the loader's shared file set (positions are only
+	// meaningful against it).
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+	// Lines holds each file's source split into lines (1-based access
+	// through LineText), so analyzers and the directive parser can
+	// inspect raw line text — e.g. to decide whether a comment stands
+	// alone on its line.
+	Lines map[string][]string
+}
+
+// LineText returns the raw source text of the given 1-based line of a
+// file in the package ("" when out of range).
+func (p *Package) LineText(filename string, line int) string {
+	lines := p.Lines[filename]
+	if line < 1 || line > len(lines) {
+		return ""
+	}
+	return lines[line-1]
+}
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and in
+	// //repro:allow directives.
+	Name string
+	// Doc is the one-paragraph description shown by cmd/lint -list.
+	Doc string
+	// FingerprintedOnly restricts the analyzer to the packages whose
+	// output is pinned by FINGERPRINT.txt (determinism checks are
+	// meaningless — and far too noisy — elsewhere).
+	FingerprintedOnly bool
+	// Run reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass is one (analyzer, package) analysis run.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at pos with a fix hint.
+func (p *Pass) Report(pos token.Pos, message, hint string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  message,
+		Hint:     hint,
+	})
+}
+
+// Reportf is Report with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...), hint)
+}
+
+// All is the full analyzer suite in the order cmd/lint runs it.
+var All = []*Analyzer{MapRange, NonDetSource, GuardedField, AllowDirective}
+
+// analyzerNames mirrors All by name. It exists as a literal so
+// runAllowDirective can validate directive names without referring to
+// All (which refers back to AllowDirective — an initialization cycle);
+// TestAnalyzerNames keeps the two in sync.
+var analyzerNames = []string{"maprange", "nondetsource", "guardedfield", "allowdirective"}
+
+// KnownAnalyzers returns the names every //repro:allow directive may
+// reference, sorted.
+func KnownAnalyzers() []string {
+	names := make([]string, len(analyzerNames))
+	copy(names, analyzerNames)
+	sort.Strings(names)
+	return names
+}
+
+// fingerprinted is the set of packages whose experiment output is
+// pinned byte-for-byte by FINGERPRINT.txt (see cmd/fingerprint): any
+// nondeterminism here changes committed goldens.
+var fingerprinted = map[string]bool{
+	"repro/internal/graph":   true,
+	"repro/internal/sim":     true,
+	"repro/internal/cast":    true,
+	"repro/internal/cds":     true,
+	"repro/internal/cdsdist": true,
+	"repro/internal/stp":     true,
+	"repro/internal/stpdist": true,
+	"repro/internal/ds":      true,
+	"repro/internal/mst":     true,
+	"repro/internal/dist":    true,
+	"repro/internal/flow":    true,
+}
+
+// DefaultFingerprinted reports whether the import path is one of the
+// fingerprinted packages (the default scope predicate for
+// FingerprintedOnly analyzers).
+func DefaultFingerprinted(path string) bool { return fingerprinted[path] }
+
+// Config tunes a Run.
+type Config struct {
+	// Analyzers to run; nil means All.
+	Analyzers []*Analyzer
+	// IsFingerprinted scopes FingerprintedOnly analyzers; nil means
+	// DefaultFingerprinted. Tests point it at fixture packages.
+	IsFingerprinted func(pkgPath string) bool
+}
+
+// Run executes the configured analyzers over the packages, applies
+// //repro:allow suppression, flags unused directives, and returns the
+// surviving diagnostics sorted by file, line, column, analyzer.
+func Run(cfg Config, pkgs []*Package) []Diagnostic {
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = All
+	}
+	isFP := cfg.IsFingerprinted
+	if isFP == nil {
+		isFP = DefaultFingerprinted
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		ranByName := map[string]bool{}
+		for _, a := range analyzers {
+			if a.FingerprintedOnly && !isFP(pkg.Path) {
+				continue
+			}
+			ranByName[a.Name] = true
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &raw})
+		}
+		allows := parseAllows(pkg)
+		for _, d := range raw {
+			// allowdirective findings are not themselves suppressible:
+			// a malformed or dead directive must be fixed, not allowed.
+			if d.Analyzer != AllowDirective.Name && suppress(allows, d) {
+				continue
+			}
+			out = append(out, d)
+		}
+		// A directive whose analyzer ran here but suppressed nothing is
+		// dead weight — the finding it justified is gone, so the
+		// recorded reason no longer corresponds to anything. Directives
+		// that already failed validation (unknown analyzer, no reason)
+		// are reported once by allowdirective, not twice.
+		for _, al := range allows {
+			if !al.used && al.reason != "" && ranByName[al.analyzer] {
+				out = append(out, Diagnostic{
+					Analyzer: AllowDirective.Name,
+					Pos:      pkg.Fset.Position(al.pos),
+					Message:  fmt.Sprintf("//repro:allow %s suppresses nothing on line %d", al.analyzer, al.target),
+					Hint:     "delete the stale directive (or move it onto the finding it justifies)",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppress reports whether an allow directive in the diagnostic's file
+// covers it, marking the directive used.
+func suppress(allows []*allow, d Diagnostic) bool {
+	for _, al := range allows {
+		if al.analyzer == d.Analyzer && al.file == d.Pos.Filename && al.target == d.Pos.Line {
+			al.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// newTestLoader builds a loader rooted at this repository (the test
+// binary runs inside internal/lint, so the go.mod walk-up finds it).
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// loadFixture loads one fixture package from testdata/src under a
+// synthetic fixture/ import path (the module walk skips testdata, so
+// fixtures are only reachable this way).
+func loadFixture(t *testing.T, l *Loader, rel string) *Package {
+	t.Helper()
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", filepath.FromSlash(rel)), "fixture/"+rel)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", rel, err)
+	}
+	return pkg
+}
+
+// fixtureFingerprinted treats every fixture package as fingerprinted so
+// the determinism analyzers run over them.
+func fixtureFingerprinted(path string) bool { return strings.HasPrefix(path, "fixture/") }
+
+type markerKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// wantMarkers collects the `// want analyzer…` expectations from a
+// fixture package: a comment of the form `// want a b` (standalone,
+// trailing, or embedded after another comment's text) expects one
+// finding per listed analyzer on its line.
+func wantMarkers(pkg *Package) map[markerKey]int {
+	want := map[markerKey]int{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				var rest string
+				if r, ok := strings.CutPrefix(c.Text, "// want "); ok {
+					rest = r
+				} else if i := strings.Index(c.Text, " // want "); i >= 0 {
+					rest = c.Text[i+len(" // want "):]
+				} else {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, name := range strings.Fields(rest) {
+					want[markerKey{pos.Filename, pos.Line, name}]++
+				}
+			}
+		}
+	}
+	return want
+}
+
+// TestFixtures runs the full suite over every fixture package and
+// requires the findings to match the in-file want markers exactly.
+func TestFixtures(t *testing.T) {
+	l := newTestLoader(t)
+	fixtures := []string{
+		"maprange/pos", "maprange/neg",
+		"nondetsource/pos", "nondetsource/neg",
+		"guardedfield/pos", "guardedfield/neg",
+		"allowdirective/pos", "allowdirective/neg",
+	}
+	for _, name := range fixtures {
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			pkg := loadFixture(t, l, name)
+			diags := Run(Config{IsFingerprinted: fixtureFingerprinted}, []*Package{pkg})
+			got := map[markerKey]int{}
+			for _, d := range diags {
+				if d.Pos.Filename == "" || d.Pos.Line <= 0 {
+					t.Errorf("diagnostic without position: %v", d)
+				}
+				if d.Hint == "" {
+					t.Errorf("diagnostic without fix hint: %v", d)
+				}
+				got[markerKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]++
+			}
+			want := wantMarkers(pkg)
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("%s:%d: want %d %s finding(s), got %d", k.file, k.line, n, k.analyzer, got[k])
+				}
+			}
+			for k, n := range got {
+				if want[k] == 0 {
+					t.Errorf("%s:%d: unexpected %s finding (%d)", k.file, k.line, k.analyzer, n)
+				}
+			}
+			if t.Failed() {
+				for _, d := range diags {
+					t.Logf("got: %v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestNegativeFixturesAreClean pins the non-firing half of the
+// acceptance bar explicitly: every neg fixture must produce zero
+// findings.
+func TestNegativeFixturesAreClean(t *testing.T) {
+	l := newTestLoader(t)
+	for _, name := range []string{"maprange/neg", "nondetsource/neg", "guardedfield/neg", "allowdirective/neg"} {
+		pkg := loadFixture(t, l, name)
+		if diags := Run(Config{IsFingerprinted: fixtureFingerprinted}, []*Package{pkg}); len(diags) != 0 {
+			t.Errorf("%s: want clean, got %d finding(s): %v", name, len(diags), diags)
+		}
+	}
+}
+
+// TestRepoIsClean is the in-tree gate behind `make lint`: the whole
+// module must lint clean — every real finding has been fixed or carries
+// a justified //repro:allow, and no directive has gone stale.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l := newTestLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 25 {
+		t.Fatalf("LoadAll found only %d packages — the module walk is broken", len(pkgs))
+	}
+	diags := Run(Config{}, pkgs)
+	for _, d := range diags {
+		t.Errorf("%v", d)
+	}
+}
+
+// TestFingerprintedScope pins the determinism analyzers to the packages
+// whose output FINGERPRINT.txt pins.
+func TestFingerprintedScope(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/graph", "repro/internal/sim", "repro/internal/cast",
+		"repro/internal/cds", "repro/internal/cdsdist", "repro/internal/stp",
+		"repro/internal/stpdist", "repro/internal/ds", "repro/internal/mst",
+		"repro/internal/dist", "repro/internal/flow",
+	} {
+		if !DefaultFingerprinted(path) {
+			t.Errorf("%s must be fingerprinted", path)
+		}
+	}
+	for _, path := range []string{"repro", "repro/internal/serve", "repro/internal/lint", "repro/cmd/serve"} {
+		if DefaultFingerprinted(path) {
+			t.Errorf("%s must not be fingerprinted", path)
+		}
+	}
+}
+
+// TestFingerprintedOnlySkipsOtherPackages runs the suite over a firing
+// fixture with the default predicate: the determinism analyzers must
+// not run there at all (and their allow directives must not be
+// reported stale, because the analyzer never ran).
+func TestFingerprintedOnlySkipsOtherPackages(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "maprange/pos")
+	for _, d := range Run(Config{}, []*Package{pkg}) {
+		t.Errorf("unexpected finding outside fingerprinted scope: %v", d)
+	}
+}
+
+// TestAnalyzerNames keeps the literal name list (needed to break the
+// All <-> AllowDirective initialization cycle) in sync with All.
+func TestAnalyzerNames(t *testing.T) {
+	if len(All) != len(analyzerNames) {
+		t.Fatalf("All has %d analyzers, analyzerNames %d", len(All), len(analyzerNames))
+	}
+	for i, a := range All {
+		if a.Name != analyzerNames[i] {
+			t.Errorf("All[%d] = %q, analyzerNames[%d] = %q", i, a.Name, i, analyzerNames[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+	known := KnownAnalyzers()
+	for i := 1; i < len(known); i++ {
+		if known[i-1] >= known[i] {
+			t.Errorf("KnownAnalyzers not sorted: %v", known)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering cmd/lint prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "maprange",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message:  "range over map m",
+		Hint:     "sort the keys",
+	}
+	want := "x.go:3:7: maprange: range over map m (fix: sort the keys)"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestResolvePatterns covers the cmd/lint argument forms.
+func TestResolvePatterns(t *testing.T) {
+	l := newTestLoader(t)
+	for _, tc := range []struct {
+		args []string
+		want string // an import path that must be present
+	}{
+		{[]string{"./internal/graph"}, "repro/internal/graph"},
+		{[]string{"internal/graph"}, "repro/internal/graph"},
+		{[]string{"repro/internal/graph"}, "repro/internal/graph"},
+		{[]string{"."}, "repro"},
+		{[]string{"./..."}, "repro/internal/lint"},
+		{[]string{"all"}, "repro/cmd/lint"},
+		{nil, "repro/internal/serve"},
+	} {
+		got, err := l.ResolvePatterns(tc.args)
+		if err != nil {
+			t.Errorf("ResolvePatterns(%v): %v", tc.args, err)
+			continue
+		}
+		found := false
+		for _, p := range got {
+			if p == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ResolvePatterns(%v) = %v, missing %s", tc.args, got, tc.want)
+		}
+	}
+	// Duplicates collapse.
+	got, err := l.ResolvePatterns([]string{"./internal/graph", "repro/internal/graph"})
+	if err != nil || len(got) != 1 {
+		t.Errorf("duplicate patterns: got %v, %v", got, err)
+	}
+	// Paths outside the module are rejected.
+	if _, err := l.ResolvePatterns([]string{"../elsewhere"}); err == nil {
+		t.Error("ResolvePatterns accepted a path outside the module")
+	}
+}
+
+// TestLoaderErrors covers the loader failure paths with throwaway
+// modules.
+func TestLoaderErrors(t *testing.T) {
+	// No go.mod anywhere above the directory.
+	orphan := t.TempDir()
+	if _, err := NewLoader(orphan); err == nil {
+		// A go.mod above the temp dir (e.g. in /tmp) makes this
+		// environment-dependent; only fail when the walk clearly
+		// misbehaved by resolving to the temp dir itself.
+		t.Log("NewLoader found a go.mod above the temp dir; skipping")
+	}
+
+	// A go.mod without a module line.
+	broken := t.TempDir()
+	mustWrite(t, filepath.Join(broken, "go.mod"), "go 1.24\n")
+	if _, err := NewLoader(broken); err == nil {
+		t.Error("NewLoader accepted a go.mod without a module line")
+	}
+
+	// A package that does not parse.
+	bad := t.TempDir()
+	mustWrite(t, filepath.Join(bad, "go.mod"), "module tmp\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(bad, "bad.go"), "package bad\nfunc {")
+	l, err := NewLoader(bad)
+	if err != nil {
+		t.Fatalf("NewLoader(bad): %v", err)
+	}
+	if _, err := l.Load("tmp"); err == nil {
+		t.Error("Load accepted a package that does not parse")
+	}
+
+	// A package that does not type-check.
+	ill := t.TempDir()
+	mustWrite(t, filepath.Join(ill, "go.mod"), "module tmp2\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(ill, "ill.go"), "package ill\n\nvar x undefined\n")
+	l2, err := NewLoader(ill)
+	if err != nil {
+		t.Fatalf("NewLoader(ill): %v", err)
+	}
+	if _, err := l2.Load("tmp2"); err == nil {
+		t.Error("Load accepted a package that does not type-check")
+	}
+
+	// Import paths outside the module.
+	if _, err := l2.Load("other/module"); err == nil {
+		t.Error("Load accepted an import path outside the module")
+	}
+
+	// A directory with no Go files.
+	if _, err := l2.LoadDir(t.TempDir(), "tmp2/empty"); err == nil {
+		t.Error("LoadDir accepted a directory with no Go files")
+	}
+}
+
+// TestLoaderResolvesLocalImports covers the recursive module-local
+// import path (package a imports package b of the same throwaway
+// module) and load memoization.
+func TestLoaderResolvesLocalImports(t *testing.T) {
+	root := t.TempDir()
+	mustWrite(t, filepath.Join(root, "go.mod"), "module tmp3\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(root, "b", "b.go"), "package b\n\n// B is exported.\nfunc B() int { return 1 }\n")
+	mustWrite(t, filepath.Join(root, "a", "a.go"), "package a\n\nimport \"tmp3/b\"\n\n// A is exported.\nfunc A() int { return b.B() }\n")
+	l, err := NewLoader(filepath.Join(root, "a"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if got := l.Root(); got != root {
+		// macOS tempdirs resolve through symlinks; compare resolved.
+		r1, _ := filepath.EvalSymlinks(got)
+		r2, _ := filepath.EvalSymlinks(root)
+		if r1 != r2 {
+			t.Fatalf("Root() = %s, want %s", got, root)
+		}
+	}
+	if got := l.ModPath(); got != "tmp3" {
+		t.Fatalf("ModPath() = %s, want tmp3", got)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("LoadAll = %d packages, want 2", len(pkgs))
+	}
+	again, err := l.Load("tmp3/a")
+	if err != nil {
+		t.Fatalf("Load(tmp3/a): %v", err)
+	}
+	if again != pkgs[0] && again != pkgs[1] {
+		t.Error("Load after LoadAll did not return the memoized package")
+	}
+	if diags := Run(Config{}, pkgs); len(diags) != 0 {
+		t.Errorf("throwaway module should lint clean, got %v", diags)
+	}
+}
+
+// TestRunSubsetStillPolicesAllows documents that directive policing
+// lives in the runner: even running only maprange, a stale maprange
+// allow is reported (under the allowdirective name).
+func TestRunSubsetStillPolicesAllows(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "allowdirective/pos")
+	diags := Run(Config{
+		Analyzers:       []*Analyzer{MapRange},
+		IsFingerprinted: fixtureFingerprinted,
+	}, []*Package{pkg})
+	var stale, fired int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case AllowDirective.Name:
+			stale++
+		case MapRange.Name:
+			fired++
+		}
+	}
+	if stale != 1 || fired != 1 {
+		t.Errorf("want 1 stale directive + 1 maprange finding, got stale=%d fired=%d: %v", stale, fired, diags)
+	}
+}
+
+// TestLineText covers the raw-source accessor boundaries.
+func TestLineText(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "maprange/pos")
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	if got := pkg.LineText(file, 1); !strings.Contains(got, "Package pos") {
+		t.Errorf("LineText line 1 = %q", got)
+	}
+	if got := pkg.LineText(file, 0); got != "" {
+		t.Errorf("LineText line 0 = %q, want empty", got)
+	}
+	if got := pkg.LineText(file, 1<<20); got != "" {
+		t.Errorf("LineText out of range = %q, want empty", got)
+	}
+	if got := pkg.LineText("nosuch.go", 1); got != "" {
+		t.Errorf("LineText unknown file = %q, want empty", got)
+	}
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkRepoLint measures one full-module lint pass (load +
+// type-check + all analyzers), the cost `make lint` adds to CI.
+func BenchmarkRepoLint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := Run(Config{}, pkgs); len(diags) != 0 {
+			b.Fatal(fmt.Sprint(diags))
+		}
+	}
+}

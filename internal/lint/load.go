@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the module's packages with a shared
+// file set. Module-local import paths resolve straight to directories
+// under the module root (the module has no external dependencies);
+// standard-library imports go through the compiler's source importer,
+// so the whole pipeline needs nothing beyond GOROOT source.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // module root directory (holds go.mod)
+	modPath string // module path from go.mod ("repro")
+	std     types.Importer
+	pkgs    map[string]*Package // memoized by import path
+	loading map[string]bool     // import-cycle guard
+}
+
+// NewLoader builds a loader for the module containing dir (walking up
+// to the nearest go.mod). An empty dir starts from the working
+// directory.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// ModPath returns the module path from go.mod.
+func (l *Loader) ModPath() string { return l.modPath }
+
+// LoadAll walks the module and loads every package (directories named
+// testdata, hidden directories, and test files are skipped), returning
+// them sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	paths, err := l.walk()
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walk returns the sorted import paths of every package directory in
+// the module.
+func (l *Loader) walk() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if !l.hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.modPath)
+		} else {
+			paths = append(paths, l.modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func (l *Loader) hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isLintedGoFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isLintedGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// Load parses and type-checks one module-local package by import path
+// (memoized; the package's module-local imports load recursively).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirFor(importPath)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is not in module %s", importPath, l.modPath)
+	}
+	return l.LoadDir(dir, importPath)
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *Loader) dirFor(importPath string) (string, bool) {
+	if importPath == l.modPath {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.modPath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. Tests use it to load fixture packages from testdata
+// (which the module walk deliberately skips).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		files []*ast.File
+		lines = map[string][]string{}
+	)
+	for _, e := range entries {
+		if e.IsDir() || !isLintedGoFile(e.Name()) {
+			continue
+		}
+		filename := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		lines[filename] = strings.Split(string(src), "\n")
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return l.importPkg(path)
+		}),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, firstErr)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Lines: lines,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import for the type checker: module-local
+// paths load through the loader, everything else is standard library
+// and goes through the source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ResolvePatterns maps cmd/lint package arguments to module import
+// paths. Accepted forms: "./..." or "all" (every package), "./x/y" and
+// "x/y" (directory relative to the module root), and full import paths
+// like "repro/internal/graph".
+func (l *Loader) ResolvePatterns(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return l.walk()
+	}
+	var paths []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		var resolved []string
+		switch {
+		case arg == "./..." || arg == "all":
+			all, err := l.walk()
+			if err != nil {
+				return nil, err
+			}
+			resolved = all
+		case arg == l.modPath || strings.HasPrefix(arg, l.modPath+"/"):
+			resolved = []string{arg}
+		default:
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(arg, "./")))
+			if rel == "." {
+				resolved = []string{l.modPath}
+			} else if strings.HasPrefix(rel, "..") || filepath.IsAbs(rel) {
+				return nil, fmt.Errorf("lint: package %q is outside the module", arg)
+			} else {
+				resolved = []string{l.modPath + "/" + rel}
+			}
+		}
+		for _, p := range resolved {
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths, nil
+}

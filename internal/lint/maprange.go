@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for … range` over a map-typed operand in the
+// fingerprinted packages. Go randomizes map iteration order per run, so
+// any output influenced by such a loop breaks the FINGERPRINT.txt
+// determinism golden — the exact bug class PR 1 fixed by hand in
+// stp/stpdist. Loops whose bodies are genuinely order-independent
+// (pure per-key writes folded into an order-insensitive structure) are
+// annotated //repro:allow maprange with the argument spelled out.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flags range over a map in the fingerprinted packages: map " +
+		"iteration order is randomized per run and breaks byte-identical " +
+		"output",
+	FingerprintedOnly: true,
+	Run:               runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				p.Reportf(rs.For,
+					"iterate a sorted key slice (slices.Sorted(maps.Keys(m))) or justify with //repro:allow maprange <reason>",
+					"range over map %s iterates in nondeterministic order",
+					types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+}

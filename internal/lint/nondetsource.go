@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NonDetSource flags nondeterminism sources in the fingerprinted
+// packages: package-level math/rand and math/rand/v2 functions (the
+// process-global generator — only PCG streams seeded through
+// internal/ds are legal there), wall-clock reads via time.Now and
+// time.Since, and the iteration-order-dependent maps.Keys/Values/All
+// unless immediately sorted through slices.Sorted*.
+var NonDetSource = &Analyzer{
+	Name: "nondetsource",
+	Doc: "flags global math/rand entropy, time.Now/time.Since, and unsorted " +
+		"maps.Keys/Values/All in the fingerprinted packages, where only " +
+		"seeded ds.NewRand/ds.SplitRand streams are legal",
+	FingerprintedOnly: true,
+	Run:               runNonDetSource,
+}
+
+func runNonDetSource(p *Pass) {
+	blessed := blessedMapIters(p.Pkg)
+	type use struct {
+		id  *ast.Ident
+		obj types.Object
+	}
+	var uses []use
+	for id, obj := range p.Pkg.Info.Uses {
+		uses = append(uses, use{id, obj})
+	}
+	// Info.Uses is itself a map: order the report pass by position so
+	// the diagnostics (and tests over them) are deterministic.
+	sort.Slice(uses, func(i, j int) bool { return uses[i].id.Pos() < uses[j].id.Pos() })
+	for _, u := range uses {
+		obj := u.obj
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Type().(*types.Signature).Recv() != nil {
+			continue // methods run on a caller-owned (seedable) value
+		}
+		switch pkgPath := obj.Pkg().Path(); pkgPath {
+		case "math/rand", "math/rand/v2":
+			// Constructors (NewPCG, NewChaCha8, New, …) build seedable
+			// sources; every other package-level function draws from the
+			// process-global generator.
+			if strings.HasPrefix(fn.Name(), "New") {
+				continue
+			}
+			p.Reportf(u.id.Pos(),
+				"draw from a seeded stream (ds.NewRand / ds.SplitRand) instead of the global generator",
+				"%s.%s uses the process-global random source", pkgPath, fn.Name())
+		case "time":
+			if fn.Name() != "Now" && fn.Name() != "Since" {
+				continue
+			}
+			p.Reportf(u.id.Pos(),
+				"fingerprinted output must not depend on wall clock; count rounds/iterations, or measure time outside the fingerprinted packages",
+				"time.%s reads the wall clock", fn.Name())
+		case "maps":
+			switch fn.Name() {
+			case "Keys", "Values", "All":
+			default:
+				continue
+			}
+			if blessed[u.id] {
+				continue // slices.Sorted(maps.Keys(m)) is deterministic
+			}
+			p.Reportf(u.id.Pos(),
+				"sort the sequence immediately: slices.Sorted(maps."+fn.Name()+"(m))",
+				"maps.%s yields keys in nondeterministic order", fn.Name())
+		}
+	}
+}
+
+// blessedMapIters returns the maps.Keys/Values selector idents that
+// appear as the direct argument of slices.Sorted / slices.SortedFunc /
+// slices.SortedStableFunc — the canonical deterministic iteration
+// idiom.
+func blessedMapIters(pkg *Package) map[*ast.Ident]bool {
+	blessed := map[*ast.Ident]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isPkgFunc(pkg, call.Fun, "slices", "Sorted", "SortedFunc", "SortedStableFunc") {
+				return true
+			}
+			arg, ok := call.Args[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := arg.Fun.(*ast.SelectorExpr)
+			if ok && isPkgFunc(pkg, sel, "maps", "Keys", "Values") {
+				blessed[sel.Sel] = true
+			}
+			return true
+		})
+	}
+	return blessed
+}
+
+// isPkgFunc reports whether expr is a selector resolving to one of the
+// named package-level functions of the given standard-library package.
+func isPkgFunc(pkg *Package, expr ast.Expr, pkgPath string, names ...string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+// Package neg holds allowdirective negative fixtures: well-formed,
+// load-bearing directives in both placements — inline, standalone, and
+// a stacked pair chaining onto one line that fires two analyzers.
+package neg
+
+import "time"
+
+func inline(m map[string]bool) int {
+	n := 0
+	for range m { //repro:allow maprange order-independent count
+		n++
+	}
+	return n
+}
+
+func standalone(m map[string]bool) int {
+	n := 0
+	//repro:allow maprange order-independent count
+	for range m {
+		n++
+	}
+	return n
+}
+
+// chained stacks two directives above a line that fires both maprange
+// (range over the inner map) and nondetsource (the wall-clock read):
+// the upper directive chains through the lower one onto the loop line.
+func chained(m map[int]map[string]int) int {
+	n := 0
+	//repro:allow nondetsource diagnostic-only bucket choice
+	//repro:allow maprange order-independent count
+	for range m[time.Now().Second()] {
+		n++
+	}
+	return n
+}
+
+var _ = []any{inline, standalone, chained}

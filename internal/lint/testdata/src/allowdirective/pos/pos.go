@@ -1,0 +1,26 @@
+// Package pos holds allowdirective positive fixtures: directives that
+// fail validation, a near-miss spelling, and a stale directive that
+// suppresses nothing.
+package pos
+
+//repro:allow nosuchanalyzer the analyzer name does not exist // want allowdirective
+
+//repro:allow maprange // want allowdirective
+
+// repro:allow maprange a space after // keeps this from parsing // want allowdirective
+
+//repro:allowtypo maprange fused prefix never parses either // want allowdirective
+
+// stale carries a directive that targets the line below it — not the
+// loop two lines down — so it suppresses nothing and the loop still
+// fires.
+func stale(m map[int]int) int {
+	//repro:allow maprange stale: this targets the next line, not the loop // want allowdirective
+	total := 0
+	for _, v := range m { // want maprange
+		total += v
+	}
+	return total
+}
+
+var _ = stale

@@ -1,0 +1,107 @@
+// Package neg holds guardedfield negative fixtures: correctly locked
+// accesses in every shape the analyzer accepts — explicit locks,
+// deferred unlocks, RLock-covered reads, the Locked-suffix convention,
+// promoted locks on an embedded mutex, constructors using composite
+// literals, and method values (which are not field accesses).
+package neg
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex // guards n, m
+	n  int
+	m  map[string]int
+}
+
+// newCounter initializes guarded fields through a composite literal:
+// no selector expression, no finding — construction precedes sharing.
+func newCounter() *counter {
+	return &counter{m: map[string]int{}}
+}
+
+func (c *counter) add(v int) {
+	c.mu.Lock()
+	c.n += v
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) set(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = c.n
+	delete(c.m, k)
+}
+
+// addLocked relies on the Locked-suffix convention: the caller holds
+// c.mu.
+func (c *counter) addLocked(v int) { c.n += v }
+
+// methodValue captures a bound method, not a field: selections of kind
+// MethodVal are ignored.
+func (c *counter) methodValue() func() int { return c.get }
+
+// shadowed documents the accepted limit of the flow-insensitive base
+// match: the closure parameter shadows the receiver, but both print as
+// "c", so the outer lock qualifies the inner access. The race detector,
+// not the linter, owns this case.
+func (c *counter) shadowed(other *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func(c *counter) int { return c.n }
+	return f(c)
+}
+
+type rstats struct {
+	rw    sync.RWMutex // guards total
+	total int
+}
+
+func (s *rstats) read() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.total
+}
+
+func (s *rstats) write(v int) {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	s.total = v
+}
+
+// embedded guards its field through an embedded mutex: the promoted
+// e.Lock() call form must qualify accesses of e.v.
+type embedded struct {
+	sync.Mutex // guards v
+	v          int
+}
+
+func (e *embedded) bump() {
+	e.Lock()
+	defer e.Unlock()
+	e.v++
+}
+
+// outerStats guards a nested struct: a write to pair.a mutates pair,
+// so the climb through the nested selector must still see the lock.
+type outerStats struct {
+	mu   sync.Mutex // guards pair
+	pair struct{ a, b int }
+}
+
+func (o *outerStats) bump() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pair.a++
+}
+
+var _ = []any{
+	newCounter, (*counter).add, (*counter).get, (*counter).set,
+	(*counter).addLocked, (*counter).methodValue, (*counter).shadowed,
+	(*rstats).read, (*rstats).write, (*embedded).bump, (*outerStats).bump,
+}

@@ -1,0 +1,82 @@
+// Package pos holds guardedfield positive fixtures: unlocked accesses
+// of guarded fields in every write shape the analyzer recognizes, plus
+// malformed guards comments.
+package pos
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex // guards n, m
+	n  int
+	m  map[string]int
+}
+
+func (c *counter) readUnlocked() int { return c.n } // want guardedfield
+
+func (c *counter) writeUnlocked() { c.n++ } // want guardedfield
+
+func (c *counter) assignUnlocked(v int) { c.n = v } // want guardedfield
+
+func (c *counter) mapWriteUnlocked(k string) { c.m[k] = 1 } // want guardedfield
+
+func (c *counter) deleteUnlocked(k string) { delete(c.m, k) } // want guardedfield
+
+func (c *counter) addrUnlocked() *int { return &c.n } // want guardedfield
+
+// wrongBase locks one counter but touches another: the base expression
+// must match, not just the guard field.
+func wrongBase(a, b *counter) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n // want guardedfield
+}
+
+type rstats struct {
+	rw    sync.RWMutex // guards total
+	total int
+}
+
+// writeUnderRLock holds only the shared lock: reads are fine, the write
+// is not.
+func (s *rstats) writeUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.total++ // want guardedfield
+	return s.total
+}
+
+type badGuard struct {
+	mu sync.Mutex // guards missing // want guardedfield
+	n  int
+}
+
+type notMutex struct {
+	flag bool // guards n // want guardedfield
+	n    int
+}
+
+type doubleName struct {
+	a, b sync.Mutex // guards n // want guardedfield
+	n    int
+}
+
+type emptyList struct {
+	mu sync.Mutex // guards // want guardedfield
+	n  int
+}
+
+type outerStats struct {
+	mu   sync.Mutex // guards pair
+	pair struct{ a, b int }
+}
+
+// nestedWrite mutates the guarded pair through a nested selector with
+// no lock held.
+func (o *outerStats) nestedWrite() { o.pair.a++ } // want guardedfield
+
+var _ = []any{
+	(*counter).readUnlocked, (*counter).writeUnlocked, (*counter).assignUnlocked,
+	(*counter).mapWriteUnlocked, (*counter).deleteUnlocked, (*counter).addrUnlocked,
+	wrongBase, (*rstats).writeUnderRLock, (*outerStats).nestedWrite,
+	badGuard{}, notMutex{}, doubleName{}, emptyList{},
+}

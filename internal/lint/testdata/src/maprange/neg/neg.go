@@ -1,0 +1,59 @@
+// Package neg holds maprange negative fixtures: ranges that are not
+// over maps, the canonical sorted-key idiom, and a justified
+// suppression. None of them may produce a finding.
+package neg
+
+import (
+	"maps"
+	"slices"
+)
+
+func sorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func chanRange(ch chan int) int {
+	total := 0
+	for x := range ch {
+		total += x
+	}
+	return total
+}
+
+func stringRange(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+func intRange(n int) int {
+	total := 0
+	for i := range n {
+		total += i
+	}
+	return total
+}
+
+// allowedFold writes each value to the slot named by its key, so visit
+// order cannot influence the result — the canonical justified allow.
+func allowedFold(m map[int]int, dst []int) {
+	for k, v := range m { //repro:allow maprange keyed writes are order-independent
+		dst[k] = v
+	}
+}
+
+var _ = []any{sorted, sliceRange, chanRange, stringRange, intRange, allowedFold}

@@ -1,0 +1,31 @@
+// Package pos holds maprange positive fixtures: every marked line must
+// produce exactly one maprange finding.
+package pos
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want maprange
+		out = append(out, k)
+	}
+	return out
+}
+
+func values(m map[int][]byte) int {
+	total := 0
+	for _, v := range m { // want maprange
+		total += len(v)
+	}
+	return total
+}
+
+type wrapped map[uint64]bool
+
+func named(w wrapped) int {
+	n := 0
+	for range w { // want maprange
+		n++
+	}
+	return n
+}
+
+var _ = []any{keys, values, named}

@@ -1,0 +1,28 @@
+// Package neg holds nondetsource negative fixtures: seeded generators,
+// methods on caller-owned sources, the sorted-iterator idiom, and
+// clock-free time arithmetic.
+package neg
+
+import (
+	"maps"
+	randv2 "math/rand/v2"
+	"slices"
+	"time"
+)
+
+func seeded(seed uint64) int {
+	r := randv2.New(randv2.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return r.IntN(10)
+}
+
+func chacha(key [32]byte) uint64 {
+	return randv2.NewChaCha8(key).Uint64()
+}
+
+func sortedKeys(m map[string]int) []string { return slices.Sorted(maps.Keys(m)) }
+
+func sortedValues(m map[string]int) []int { return slices.Sorted(maps.Values(m)) }
+
+func timeout(rounds int) time.Duration { return time.Duration(rounds) * time.Millisecond }
+
+var _ = []any{seeded, chacha, sortedKeys, sortedValues, timeout}

@@ -1,0 +1,32 @@
+// Package pos holds nondetsource positive fixtures: global random
+// sources, wall-clock reads, and unsorted map iterators.
+package pos
+
+import (
+	"maps"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func globalV1() int { return rand.Intn(10) } // want nondetsource
+
+func globalV2() int { return randv2.IntN(10) } // want nondetsource
+
+func globalShuffle(xs []int) {
+	randv2.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want nondetsource
+}
+
+func wallClock() int64 { return time.Now().UnixNano() } // want nondetsource
+
+func elapsed(start time.Time) time.Duration { return time.Since(start) } // want nondetsource
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want nondetsource
+		out = append(out, k)
+	}
+	return out
+}
+
+var _ = []any{globalV1, globalV2, globalShuffle, wallClock, elapsed, unsortedKeys}

@@ -64,7 +64,7 @@ func (s *subscription) Dropped() uint64 { return s.dropped.Load() }
 // serialized by the bus mutex, so every subscriber observes events of
 // one batch in increasing-Seq order.
 type eventBus struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // guards seq, subs
 	seq  uint64
 	subs map[*subscription]struct{}
 	// dropped points at the owning service's events_dropped counter so

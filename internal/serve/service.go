@@ -79,7 +79,7 @@ type Service struct {
 	cfg Config
 	sem chan struct{} // bounded-concurrency demand execution
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex // guards graphs, order
 	graphs map[string]*graphEntry
 	order  []string // registration order, for stable stats listings
 
@@ -114,7 +114,7 @@ type Service struct {
 // unit and Stats loads them as a unit, so every snapshot sees a
 // consistent delivered fraction.
 type pairCount struct {
-	mu        sync.Mutex
+	mu        sync.Mutex // guards delivered, expected
 	delivered uint64
 	expected  uint64
 }
