@@ -109,3 +109,4 @@ fingerprint:
 
 clean:
 	rm -f repro.test *.test *.prof *.out cover.out cover.lint.out BENCH_local.json
+	rm -rf selftest.store

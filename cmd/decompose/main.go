@@ -5,6 +5,11 @@
 //
 //	decompose -family hypercube -param 6 -mode vertex
 //	decompose -family harary -param 8 -n 64 -mode edge -distributed
+//
+// With -o FILE the packed trees are also written as a snapshot
+// (internal/snap) that `cmd/serve` can ingest (-ingest FILE) or serve
+// from a store directory, so a decomposition computed offline never has
+// to be repacked by the server.
 package main
 
 import (
@@ -14,6 +19,8 @@ import (
 	"os"
 
 	decomp "repro"
+	"repro/internal/check"
+	"repro/internal/snap"
 )
 
 func main() {
@@ -23,6 +30,7 @@ func main() {
 	mode := flag.String("mode", "vertex", "decomposition: vertex (dominating trees) or edge (spanning trees)")
 	distributed := flag.Bool("distributed", false, "run the distributed protocol on the simulator and report rounds")
 	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("o", "", "write the packing as a snapshot `file` cmd/serve can ingest")
 	flag.Parse()
 
 	g, err := makeGraph(*family, *param, *n, *seed)
@@ -31,15 +39,48 @@ func main() {
 	}
 	fmt.Printf("graph: family=%s n=%d m=%d\n", *family, g.N(), g.M())
 
+	var (
+		kind  string
+		trees []check.Weighted
+		size  float64
+	)
 	switch *mode {
 	case "vertex":
-		runVertex(g, *distributed, *seed)
+		kind = snap.KindDominating
+		trees, size = runVertex(g, *distributed, *seed)
 	case "edge":
-		runEdge(g, *distributed, *seed)
+		kind = snap.KindSpanning
+		trees, size = runEdge(g, *distributed, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	if *out != "" {
+		if err := writeSnapshot(*out, g, kind, *seed, trees, size); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeSnapshot captures the packing as a snapshot file. The options
+// digest uses the packer-default epsilon (this command exposes no
+// epsilon flag), matching a serve.Config with the same PackSeed and
+// zero Epsilon.
+func writeSnapshot(path string, g *decomp.Graph, kind string, seed uint64, trees []check.Weighted, size float64) error {
+	sn, err := snap.Capture(g, kind, snap.OptionsDigest(seed, 0), trees, size)
+	if err != nil {
+		return fmt.Errorf("capturing snapshot: %w", err)
+	}
+	data, err := sn.Encode()
+	if err != nil {
+		return fmt.Errorf("encoding snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot: wrote %s (%d bytes; store name %s)\n",
+		path, len(data), snap.FileName(sn.GraphKey(), kind, sn.OptionsDigest))
+	return nil
 }
 
 func makeGraph(family string, param, n int, seed uint64) (*decomp.Graph, error) {
@@ -61,23 +102,31 @@ func makeGraph(family string, param, n int, seed uint64) (*decomp.Graph, error) 
 	}
 }
 
-func runVertex(g *decomp.Graph, distributed bool, seed uint64) {
+func runVertex(g *decomp.Graph, distributed bool, seed uint64) ([]check.Weighted, float64) {
+	var p *decomp.DominatingTreePacking
 	if distributed {
 		res, err := decomp.PackDominatingTreesDistributed(g, decomp.WithSeed(seed))
 		if err != nil {
 			log.Fatal(err)
 		}
-		printDomPacking(g, res.Packing)
+		p = res.Packing
+		printDomPacking(g, p)
 		fmt.Printf("distributed cost: %d rounds (%d metered + %d charged), %d messages, %d bits\n",
 			res.Meter.TotalRounds(), res.Meter.MeteredRounds, res.Meter.ChargedRounds,
 			res.Meter.Messages, res.Meter.Bits)
-		return
+	} else {
+		var err error
+		p, err = decomp.PackDominatingTrees(g, decomp.WithSeed(seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printDomPacking(g, p)
 	}
-	p, err := decomp.PackDominatingTrees(g, decomp.WithSeed(seed))
-	if err != nil {
-		log.Fatal(err)
+	trees := make([]check.Weighted, len(p.Trees))
+	for i, t := range p.Trees {
+		trees[i] = check.Weighted{Tree: t.Tree, Weight: t.Weight}
 	}
-	printDomPacking(g, p)
+	return trees, p.Size()
 }
 
 func printDomPacking(g *decomp.Graph, p *decomp.DominatingTreePacking) {
@@ -93,23 +142,31 @@ func printDomPacking(g *decomp.Graph, p *decomp.DominatingTreePacking) {
 	}
 }
 
-func runEdge(g *decomp.Graph, distributed bool, seed uint64) {
+func runEdge(g *decomp.Graph, distributed bool, seed uint64) ([]check.Weighted, float64) {
+	var p *decomp.SpanningTreePacking
 	if distributed {
 		res, err := decomp.PackSpanningTreesDistributed(g, decomp.WithSeed(seed))
 		if err != nil {
 			log.Fatal(err)
 		}
-		printSpanPacking(g, res.Packing)
+		p = res.Packing
+		printSpanPacking(g, p)
 		fmt.Printf("distributed cost: %d rounds (%d metered + %d charged), %d messages, %d bits\n",
 			res.Meter.TotalRounds(), res.Meter.MeteredRounds, res.Meter.ChargedRounds,
 			res.Meter.Messages, res.Meter.Bits)
-		return
+	} else {
+		var err error
+		p, err = decomp.PackSpanningTrees(g, decomp.WithSeed(seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSpanPacking(g, p)
 	}
-	p, err := decomp.PackSpanningTrees(g, decomp.WithSeed(seed))
-	if err != nil {
-		log.Fatal(err)
+	trees := make([]check.Weighted, len(p.Trees))
+	for i, t := range p.Trees {
+		trees[i] = check.Weighted{Tree: t.Tree, Weight: t.Weight}
 	}
-	printSpanPacking(g, p)
+	return trees, p.Size()
 }
 
 func printSpanPacking(g *decomp.Graph, p *decomp.SpanningTreePacking) {

@@ -1,8 +1,9 @@
 // Command lint runs the project's static-analysis suite (internal/lint)
 // over the module: maprange and nondetsource police the determinism
 // contract of the fingerprinted packages, guardedfield polices the
-// `// guards` mutex convention, and allowdirective polices the
-// //repro:allow suppression inventory itself.
+// `// guards` mutex convention, pkgdoc polices doc comments on the
+// API-surface packages' exported declarations, and allowdirective
+// polices the //repro:allow suppression inventory itself.
 //
 // Usage:
 //
@@ -34,6 +35,9 @@ func main() {
 			scope := "all packages"
 			if a.FingerprintedOnly {
 				scope = "fingerprinted packages"
+			}
+			if a.DocScopedOnly {
+				scope = "API-surface packages"
 			}
 			fmt.Printf("%-15s (%s)\n    %s\n", a.Name, scope, a.Doc)
 		}

@@ -10,14 +10,23 @@
 //	curl -s localhost:8080/v1/graphs/<id>/broadcast -d '{"kind":"spanning","sources":[0,2],"seed":7}'
 //	curl -s localhost:8080/v1/stats
 //
+// With -store DIR the service persists every computed decomposition to
+// a snapshot store (internal/snap) and consults it before packing, so a
+// restart over the same directory serves all previously packed graphs
+// without recomputing anything. -max-resident N bounds how many
+// decompositions stay in memory per registry segment (evicted entries
+// reload from the store on demand), and -ingest FILE pre-loads a
+// snapshot written by `cmd/decompose -o` before serving.
+//
 // With -selftest the command instead drives the full loop in-process
 // against a real HTTP listener — register, concurrent decomposition
 // requests (asserting the singleflight packed exactly once), concurrent
 // broadcasts checked byte-identical against a serial replay, a batch
 // round-trip (one pack checkout for N demands) plus its streaming
-// NDJSON twin, closed- and open-loop load runs, and a stats audit —
-// exiting nonzero on any failure. `make ci` runs it as the serving
-// smoke test.
+// NDJSON twin, closed- and open-loop load runs, a persist → restart →
+// warm-serve phase (asserting zero repacks and survival of a corrupted
+// snapshot file), and a stats audit — exiting nonzero on any failure.
+// `make ci` runs it as the serving smoke test.
 package main
 
 import (
@@ -40,16 +49,29 @@ import (
 	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/serve"
+	"repro/internal/snap"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxConcurrent := flag.Int("max-concurrent", 8, "bound on simultaneously executing demands")
 	packSeed := flag.Uint64("pack-seed", 1, "seed for packing computations")
+	storeDir := flag.String("store", "", "snapshot store directory (empty disables persistence)")
+	maxResident := flag.Int("max-resident", 0, "resident decompositions per registry segment (0 = unlimited)")
 	selftest := flag.Bool("selftest", false, "drive the full serving loop in-process and exit")
+	var ingest []string
+	flag.Func("ingest", "snapshot `file` to pre-load before serving (repeatable)", func(path string) error {
+		ingest = append(ingest, path)
+		return nil
+	})
 	flag.Parse()
 
-	svc := serve.New(serve.Config{MaxConcurrent: *maxConcurrent, PackSeed: *packSeed})
+	svc := serve.New(serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		PackSeed:      *packSeed,
+		StoreDir:      *storeDir,
+		MaxResident:   *maxResident,
+	})
 	if *selftest {
 		if err := runSelftest(svc); err != nil {
 			fmt.Fprintf(os.Stderr, "selftest: FAIL: %v\n", err)
@@ -58,10 +80,31 @@ func main() {
 		fmt.Println("selftest: OK")
 		return
 	}
-	log.Printf("serving on %s (max-concurrent=%d)", *addr, *maxConcurrent)
+	for _, path := range ingest {
+		sn, err := readSnapshot(path)
+		if err != nil {
+			log.Fatalf("ingest %s: %v", path, err)
+		}
+		id, err := svc.Ingest(sn)
+		if err != nil {
+			log.Fatalf("ingest %s: %v", path, err)
+		}
+		log.Printf("ingested %s: graph %s, %s decomposition", path, id, sn.Kind)
+	}
+	log.Printf("serving on %s (max-concurrent=%d store=%q)", *addr, *maxConcurrent, *storeDir)
 	if err := run(*addr, svc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// readSnapshot loads and decodes one snapshot file (full checksum and
+// structural validation; oracle verification happens in Ingest).
+func readSnapshot(path string) (*snap.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Decode(data)
 }
 
 // run serves until SIGINT/SIGTERM, then drains in-flight requests with
@@ -97,6 +140,7 @@ func run(addr string, svc *serve.Service) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	svc.FlushStore() // let write-behind snapshot saves land before exit
 	log.Printf("bye")
 	return nil
 }
@@ -309,6 +353,12 @@ func runSelftest(svc *serve.Service) error {
 	fmt.Printf("chaos load: %d faulted demands, delivered=%.3f retries=%d lost=%d\n",
 		crep.FaultedDemands, crep.DeliveredFraction, crep.Retries, crep.MessagesLost)
 
+	// Persistence: persist → restart → warm-serve, then survive a
+	// corrupted snapshot file by recomputing.
+	if err := runPersistSelftest(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+
 	// Final stats audit.
 	st := stats(client, srv.URL)
 	// Two passes × two kinds of concurrent broadcasts, two chaos smokes,
@@ -329,10 +379,11 @@ func runSelftest(svc *serve.Service) error {
 		return fmt.Errorf("stats count %d packings, want 2", st.PackComputes)
 	}
 	// Every pack request is exactly one of: the computing leader, a true
-	// cache hit, or coalesced behind an in-flight leader.
-	if st.PackRequests != st.PackComputes+st.CacheHits+st.Coalesced {
-		return fmt.Errorf("pack accounting leaks: %d requests != %d computes + %d hits + %d coalesced",
-			st.PackRequests, st.PackComputes, st.CacheHits, st.Coalesced)
+	// cache hit, coalesced behind an in-flight leader, or restored from
+	// the snapshot store.
+	if st.PackRequests != st.PackComputes+st.CacheHits+st.Coalesced+st.StoreHits {
+		return fmt.Errorf("pack accounting leaks: %d requests != %d computes + %d hits + %d coalesced + %d store hits",
+			st.PackRequests, st.PackComputes, st.CacheHits, st.Coalesced, st.StoreHits)
 	}
 	if st.EventsDropped != 0 {
 		return fmt.Errorf("selftest stream dropped %d events", st.EventsDropped)
@@ -346,6 +397,100 @@ func runSelftest(svc *serve.Service) error {
 	fmt.Printf("stats: %d requests (%d faulted), %d rounds, %d/%d pack computes/requests, max congestion v=%d e=%d, delivered=%.3f\n",
 		st.Requests, st.FaultedRequests, st.Rounds, st.PackComputes, st.PackRequests,
 		st.MaxVertexCongestion, st.MaxEdgeCongestion, st.DeliveredFraction)
+	return nil
+}
+
+// runPersistSelftest drives the durable-store loop in-process: a cold
+// service packs and persists, a second service over the same directory
+// serves warm with zero repacks and byte-identical broadcasts, and a
+// third survives a deliberately corrupted snapshot file by recomputing.
+func runPersistSelftest() error {
+	const dir = "selftest.store"
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := serve.Config{MaxConcurrent: 4, PackSeed: 1, StoreDir: dir}
+	g := graph.RandomHamCycles(64, 3, ds.NewRand(1))
+	sources := []int{0, 7, 13}
+
+	cold := serve.New(cfg)
+	id, err := cold.RegisterGraph(g)
+	if err != nil {
+		return err
+	}
+	for _, kind := range []serve.Kind{serve.Dominating, serve.Spanning} {
+		if _, err := cold.Decompose(id, kind); err != nil {
+			return fmt.Errorf("cold decompose %s: %w", kind, err)
+		}
+	}
+	ref := make(map[serve.Kind]cast.Result)
+	for _, kind := range []serve.Kind{serve.Dominating, serve.Spanning} {
+		res, err := cold.Broadcast(id, kind, sources, 42)
+		if err != nil {
+			return fmt.Errorf("cold broadcast %s: %w", kind, err)
+		}
+		ref[kind] = res
+	}
+	cold.FlushStore()
+	if cst := cold.Stats(); cst.PackComputes != 2 || cst.StoreMisses != 2 {
+		return fmt.Errorf("cold service: computes=%d misses=%d, want 2/2", cst.PackComputes, cst.StoreMisses)
+	}
+
+	warm := serve.New(cfg)
+	if _, err := warm.RegisterGraph(g); err != nil {
+		return err
+	}
+	for _, kind := range []serve.Kind{serve.Dominating, serve.Spanning} {
+		info, err := warm.Decompose(id, kind)
+		if err != nil {
+			return fmt.Errorf("warm decompose %s: %w", kind, err)
+		}
+		if !info.Cached {
+			return fmt.Errorf("warm %s decomposition was repacked", kind)
+		}
+		res, err := warm.Broadcast(id, kind, sources, 42)
+		if err != nil {
+			return fmt.Errorf("warm broadcast %s: %w", kind, err)
+		}
+		if res != ref[kind] {
+			return fmt.Errorf("warm %s broadcast diverged: %+v vs %+v", kind, res, ref[kind])
+		}
+	}
+	wst := warm.Stats()
+	if wst.PackComputes != 0 || wst.StoreHits != 2 {
+		return fmt.Errorf("warm restart: computes=%d store hits=%d, want 0/2", wst.PackComputes, wst.StoreHits)
+	}
+	if wst.PackRequests != wst.PackComputes+wst.CacheHits+wst.Coalesced+wst.StoreHits {
+		return fmt.Errorf("warm pack accounting leaks: %+v", wst)
+	}
+
+	// Corrupt one snapshot: the next restart must recompute that kind
+	// (and count the damage) instead of erroring to the client.
+	victim := snap.NewStore(dir).Path(id, string(serve.Dominating), snap.OptionsDigest(cfg.PackSeed, cfg.Epsilon))
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		return fmt.Errorf("reading snapshot to corrupt: %w", err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)/2], 0o644); err != nil {
+		return err
+	}
+	hurt := serve.New(cfg)
+	if _, err := hurt.RegisterGraph(g); err != nil {
+		return err
+	}
+	for _, kind := range []serve.Kind{serve.Dominating, serve.Spanning} {
+		if _, err := hurt.Decompose(id, kind); err != nil {
+			return fmt.Errorf("post-corruption decompose %s: %w", kind, err)
+		}
+	}
+	hurt.FlushStore() // the repaired save must land before the deferred RemoveAll
+	hst := hurt.Stats()
+	if hst.PackComputes != 1 || hst.StoreErrors == 0 || hst.StoreHits != 1 {
+		return fmt.Errorf("corruption handling: computes=%d errors=%d hits=%d, want 1/≥1/1",
+			hst.PackComputes, hst.StoreErrors, hst.StoreHits)
+	}
+	fmt.Printf("persist: warm restart served 2 kinds with 0 repacks, byte-identical broadcasts; corrupted snapshot recomputed\n")
 	return nil
 }
 

@@ -18,6 +18,19 @@
 // Distributed algorithms run on a synchronous message-passing simulator
 // that enforces the paper's V-CONGEST/E-CONGEST models and meters rounds,
 // messages, and bits; results carry those meters.
+//
+// # Caller invariants
+//
+// Everything here is deterministic on purpose: for a fixed graph and
+// seed, packings, meters, and broadcast results are byte-identical
+// across runs, worker counts, and process restarts. Callers keep that
+// guarantee by treating values as immutable after construction — don't
+// mutate a Graph once it has been packed, a packing once it has been
+// scheduled, or a Demand while a Run is in flight. A
+// BroadcastScheduler handle is single-goroutine; concurrent serving
+// goes through internal/serve, which clones handles per goroutine.
+// Seeds are the only entropy input: two calls differing only in seed
+// are independent samples, two calls with equal seeds are replays.
 package decomp
 
 import (

@@ -16,6 +16,17 @@
 // then Run any sequence of demands with zero per-run setup allocations.
 // Broadcast and SingleTreeBaseline are thin construct-and-run wrappers
 // for one-shot use.
+//
+// # Caller invariants
+//
+// NewScheduler validates the trees against the graph once; after that
+// the graph and trees are shared, not copied, and must not be mutated
+// for the handle's lifetime. One handle serves one goroutine at a
+// time — concurrent use goes through Clone, which shares the immutable
+// core and owns fresh run buffers (clones of one handle may Run
+// concurrently and return results byte-identical to serial replays).
+// Results are pure functions of (handle construction, demand, seed),
+// and for RunFaulted additionally of the fault plan.
 package cast
 
 import (

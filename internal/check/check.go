@@ -9,6 +9,16 @@
 // The package depends only on internal/graph: packings are passed as
 // []Weighted so that cds, stp, and their tests can all import it without
 // cycles.
+//
+// # Caller invariants
+//
+// Checkers read, never write: graphs and trees pass through untouched,
+// so they are safe on live data structures (internal/serve runs them
+// on snapshots loaded from disk before serving). Every tree must have
+// been built for the graph being checked — vertex ids are interpreted
+// against g — and a size floor of 0 (kappa/lambda unknown) skips the
+// packing-size check while still enforcing domination/spanning and the
+// per-vertex or per-edge capacity.
 package check
 
 import (

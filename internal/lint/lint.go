@@ -11,7 +11,11 @@
 //   - race-free concurrent serving: guardedfield parses the
 //     `// guards a, b` convention on mutex fields and flags accesses of
 //     a guarded field outside a function that locks the guard — the
-//     torn-snapshot class PR 7 fixed in the chaos stats.
+//     torn-snapshot class PR 7 fixed in the chaos stats;
+//   - documented API surfaces: pkgdoc requires doc comments on exported
+//     declarations in the packages external callers import (the root
+//     facade and internal/serve), where the docs are the only place
+//     caller invariants live.
 //
 // Findings are suppressed, one at a time and with a recorded reason, by
 // a `//repro:allow <analyzer> <reason>` comment; the directives are
@@ -88,6 +92,10 @@ type Analyzer struct {
 	// output is pinned by FINGERPRINT.txt (determinism checks are
 	// meaningless — and far too noisy — elsewhere).
 	FingerprintedOnly bool
+	// DocScopedOnly restricts the analyzer to the API-surface packages
+	// (the root decomp facade and internal/serve), where doc comments
+	// are the contract external callers rely on.
+	DocScopedOnly bool
 	// Run reports findings through the pass.
 	Run func(*Pass)
 }
@@ -115,13 +123,13 @@ func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
 }
 
 // All is the full analyzer suite in the order cmd/lint runs it.
-var All = []*Analyzer{MapRange, NonDetSource, GuardedField, AllowDirective}
+var All = []*Analyzer{MapRange, NonDetSource, GuardedField, AllowDirective, PkgDoc}
 
 // analyzerNames mirrors All by name. It exists as a literal so
 // runAllowDirective can validate directive names without referring to
 // All (which refers back to AllowDirective — an initialization cycle);
 // TestAnalyzerNames keeps the two in sync.
-var analyzerNames = []string{"maprange", "nondetsource", "guardedfield", "allowdirective"}
+var analyzerNames = []string{"maprange", "nondetsource", "guardedfield", "allowdirective", "pkgdoc"}
 
 // KnownAnalyzers returns the names every //repro:allow directive may
 // reference, sorted.
@@ -154,6 +162,20 @@ var fingerprinted = map[string]bool{
 // FingerprintedOnly analyzers).
 func DefaultFingerprinted(path string) bool { return fingerprinted[path] }
 
+// docScoped is the set of API-surface packages whose exported
+// declarations must carry doc comments: the root facade every external
+// caller imports, and the serving layer whose concurrency and
+// persistence invariants live in its docs.
+var docScoped = map[string]bool{
+	"repro":                true,
+	"repro/internal/serve": true,
+}
+
+// DefaultDocScoped reports whether the import path is one of the
+// doc-scoped API-surface packages (the default scope predicate for
+// DocScopedOnly analyzers).
+func DefaultDocScoped(path string) bool { return docScoped[path] }
+
 // Config tunes a Run.
 type Config struct {
 	// Analyzers to run; nil means All.
@@ -161,6 +183,9 @@ type Config struct {
 	// IsFingerprinted scopes FingerprintedOnly analyzers; nil means
 	// DefaultFingerprinted. Tests point it at fixture packages.
 	IsFingerprinted func(pkgPath string) bool
+	// IsDocScoped scopes DocScopedOnly analyzers; nil means
+	// DefaultDocScoped. Tests point it at fixture packages.
+	IsDocScoped func(pkgPath string) bool
 }
 
 // Run executes the configured analyzers over the packages, applies
@@ -175,6 +200,10 @@ func Run(cfg Config, pkgs []*Package) []Diagnostic {
 	if isFP == nil {
 		isFP = DefaultFingerprinted
 	}
+	isDoc := cfg.IsDocScoped
+	if isDoc == nil {
+		isDoc = DefaultDocScoped
+	}
 
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -182,6 +211,9 @@ func Run(cfg Config, pkgs []*Package) []Diagnostic {
 		ranByName := map[string]bool{}
 		for _, a := range analyzers {
 			if a.FingerprintedOnly && !isFP(pkg.Path) {
+				continue
+			}
+			if a.DocScopedOnly && !isDoc(pkg.Path) {
 				continue
 			}
 			ranByName[a.Name] = true

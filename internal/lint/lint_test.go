@@ -36,6 +36,11 @@ func loadFixture(t *testing.T, l *Loader, rel string) *Package {
 // the determinism analyzers run over them.
 func fixtureFingerprinted(path string) bool { return strings.HasPrefix(path, "fixture/") }
 
+// fixtureDocScoped doc-scopes only the pkgdoc fixtures: the other
+// fixtures deliberately leave their exported decls undocumented and
+// must not pick up pkgdoc findings their want markers don't expect.
+func fixtureDocScoped(path string) bool { return strings.HasPrefix(path, "fixture/pkgdoc") }
+
 type markerKey struct {
 	file     string
 	line     int
@@ -78,11 +83,12 @@ func TestFixtures(t *testing.T) {
 		"nondetsource/pos", "nondetsource/neg",
 		"guardedfield/pos", "guardedfield/neg",
 		"allowdirective/pos", "allowdirective/neg",
+		"pkgdoc/pos", "pkgdoc/neg",
 	}
 	for _, name := range fixtures {
 		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
 			pkg := loadFixture(t, l, name)
-			diags := Run(Config{IsFingerprinted: fixtureFingerprinted}, []*Package{pkg})
+			diags := Run(Config{IsFingerprinted: fixtureFingerprinted, IsDocScoped: fixtureDocScoped}, []*Package{pkg})
 			got := map[markerKey]int{}
 			for _, d := range diags {
 				if d.Pos.Filename == "" || d.Pos.Line <= 0 {
@@ -118,9 +124,9 @@ func TestFixtures(t *testing.T) {
 // findings.
 func TestNegativeFixturesAreClean(t *testing.T) {
 	l := newTestLoader(t)
-	for _, name := range []string{"maprange/neg", "nondetsource/neg", "guardedfield/neg", "allowdirective/neg"} {
+	for _, name := range []string{"maprange/neg", "nondetsource/neg", "guardedfield/neg", "allowdirective/neg", "pkgdoc/neg"} {
 		pkg := loadFixture(t, l, name)
-		if diags := Run(Config{IsFingerprinted: fixtureFingerprinted}, []*Package{pkg}); len(diags) != 0 {
+		if diags := Run(Config{IsFingerprinted: fixtureFingerprinted, IsDocScoped: fixtureDocScoped}, []*Package{pkg}); len(diags) != 0 {
 			t.Errorf("%s: want clean, got %d finding(s): %v", name, len(diags), diags)
 		}
 	}
@@ -163,6 +169,21 @@ func TestFingerprintedScope(t *testing.T) {
 	for _, path := range []string{"repro", "repro/internal/serve", "repro/internal/lint", "repro/cmd/serve"} {
 		if DefaultFingerprinted(path) {
 			t.Errorf("%s must not be fingerprinted", path)
+		}
+	}
+}
+
+// TestDocScope pins the doc-comment analyzer to the API-surface
+// packages (and keeps it away from everything else).
+func TestDocScope(t *testing.T) {
+	for _, path := range []string{"repro", "repro/internal/serve"} {
+		if !DefaultDocScoped(path) {
+			t.Errorf("%s must be doc-scoped", path)
+		}
+	}
+	for _, path := range []string{"repro/internal/graph", "repro/internal/lint", "repro/cmd/serve", "fixture/maprange/pos"} {
+		if DefaultDocScoped(path) {
+			t.Errorf("%s must not be doc-scoped", path)
 		}
 	}
 }

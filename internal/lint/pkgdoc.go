@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PkgDoc flags exported declarations without doc comments (and packages
+// without a package comment) in the doc-scoped packages — the public
+// API surfaces (the root decomp facade and internal/serve) whose
+// callers live outside the package and have only the doc comments to
+// learn the invariants they must uphold. Genuinely self-explanatory
+// exceptions are annotated //repro:allow pkgdoc with the justification
+// spelled out.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc: "flags exported types, functions, methods, and package clauses " +
+		"missing doc comments in the API-surface packages: callers outside " +
+		"the package learn invariants only from docs",
+	DocScopedOnly: true,
+	Run:           runPkgDoc,
+}
+
+// runPkgDoc inspects top-level declarations only; struct fields and
+// interface methods are left to the package author's judgment. A doc
+// comment is a comment group with actual text: CommentGroup.Text strips
+// `//name:` directive lines, so a bare //repro:allow above a
+// declaration does not count as documentation (it suppresses the
+// finding through the normal directive path instead), and trailing
+// same-line comments are not docs at all (godoc ignores them).
+func runPkgDoc(p *Pass) {
+	hasPkgDoc := false
+	for _, f := range p.Pkg.Files {
+		if f.Doc.Text() != "" {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && len(p.Pkg.Files) > 0 {
+		// Reported once, on the first file's package clause (files are
+		// sorted by name, so the position is stable).
+		name := p.Pkg.Files[0].Name
+		p.Reportf(name.Pos(),
+			"add a package comment (or justify with //repro:allow pkgdoc <reason>)",
+			"package %s has no package comment", name.Name)
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc.Text() != "" || !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					if !receiverExported(d.Recv) {
+						continue // method reachable only inside the package
+					}
+					p.Reportf(d.Name.Pos(),
+						"document what the method does and any invariant its caller must uphold",
+						"exported method %s has no doc comment", d.Name.Name)
+					continue
+				}
+				p.Reportf(d.Name.Pos(),
+					"document what the function does and any invariant its caller must uphold",
+					"exported function %s has no doc comment", d.Name.Name)
+			case *ast.GenDecl:
+				if d.Tok == token.IMPORT {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && d.Doc.Text() == "" && sp.Doc.Text() == "" {
+							p.Reportf(sp.Name.Pos(),
+								"document the type (or its declaration group)",
+								"exported type %s has no doc comment", sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if d.Doc.Text() != "" || sp.Doc.Text() != "" {
+							continue
+						}
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								p.Reportf(n.Pos(),
+									"document the value (or its declaration group)",
+									"exported %s %s has no doc comment", d.Tok, n.Name)
+								break // one finding per spec, not per name
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported (methods on unexported types are unreachable outside the
+// package, so their docs are the package author's business).
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver: T[P]
+			t = x.X
+		case *ast.IndexListExpr: // generic receiver: T[P1, P2]
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true // unrecognized shape: err on the side of checking
+		}
+	}
+}

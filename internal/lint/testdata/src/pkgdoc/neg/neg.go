@@ -1,0 +1,27 @@
+// Package neg is fully documented: every exported declaration carries
+// a doc comment, so pkgdoc must stay silent.
+package neg
+
+// Thing is a documented exported type.
+type Thing struct{}
+
+// Do is a documented exported function.
+func Do() {}
+
+// Method is a documented exported method.
+func (t *Thing) Method() {}
+
+// Limit is a documented exported constant.
+const Limit = 7
+
+// Exported values in a documented group need no per-spec docs.
+var (
+	Counter int
+	Gauge   int
+)
+
+type helper struct{}
+
+func (helper) work() {}
+
+func private() {}

@@ -1,0 +1,42 @@
+package pos // want pkgdoc
+
+type Widget struct{} // want pkgdoc
+
+// Documented types are fine.
+type Gadget struct{}
+
+func Exported() {} // want pkgdoc
+
+// Documented functions are fine.
+func Fine() {}
+
+func (Widget) Method() {} // want pkgdoc
+
+// Documented methods are fine.
+func (Widget) Documented() {}
+
+// Methods on unexported types are the package's own business.
+type hidden struct{}
+
+func (hidden) Method() {}
+
+func unexported() {}
+
+const Limit = 3 // want pkgdoc
+
+// Grouped declarations are covered by the group doc.
+const (
+	A = 1
+	B = 2
+)
+
+var (
+	Counter int // want pkgdoc
+
+	// Documented group members are fine.
+	Gauge int
+
+	internal int
+)
+
+var SelfEvident = true //repro:allow pkgdoc name says it all

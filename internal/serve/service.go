@@ -2,16 +2,37 @@
 // the layer that turns the packers and the cast.Scheduler handle into a
 // system that accepts traffic. It provides
 //
-//   - a graph registry keyed by content hash (registering the same graph
-//     twice yields the same id and shares all cached state),
+//   - a graph registry keyed by content hash, sharded into
+//     goroutine-safe segments so millions of registered graphs do not
+//     contend on one lock (registering the same graph twice yields the
+//     same id and shares all cached state),
 //   - a per-(graph, kind) packing cache with singleflight semantics — N
 //     concurrent requests for the same decomposition trigger exactly one
 //     cds.Pack / stp.Pack computation, everyone else waits for it,
+//   - an optional durable snapshot store (internal/snap): computed
+//     decompositions are persisted write-behind, a cache miss consults
+//     the store before packing, and a warm restart therefore serves
+//     every previously packed (graph, kind) without a single repack,
+//   - per-segment LRU eviction (Config.MaxResident) bounding how many
+//     decompositions stay resident; evicted entries reload from the
+//     store — or repack — on demand,
 //   - a sync.Pool of Scheduler clones per cached decomposition, so
 //     concurrent demands share the immutable scheduler core and reuse
 //     warm per-run buffers (zero steady-state allocations per clone),
 //   - bounded-concurrency demand execution with per-graph and global
-//     stats (requests, cache hits, rounds, congestion maxima).
+//     stats (requests, cache hits, store hits, rounds, congestion
+//     maxima).
+//
+// # Caller invariants
+//
+// A Service's decompositions are a pure function of (graph content,
+// Config.PackSeed, Config.Epsilon); callers that share a snapshot store
+// between services must use identical PackSeed/Epsilon, and Ingest
+// refuses snapshots whose options digest differs. Write-behind saves
+// are asynchronous: call FlushStore before relying on the store's
+// on-disk state (shutdown, restart tests). Graphs handed to
+// RegisterGraph and results returned from Stats must be treated as
+// immutable.
 //
 // The HTTP front end over this service lives in handler.go and is
 // served by cmd/serve; the closed-loop load generator in loadgen.go
@@ -19,17 +40,21 @@
 package serve
 
 import (
+	"container/list"
 	"context"
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cast"
 	"repro/internal/cds"
+	"repro/internal/check"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/stp"
 )
 
@@ -47,8 +72,14 @@ const (
 
 func (k Kind) valid() bool { return k == Dominating || k == Spanning }
 
+// registryShards is the number of goroutine-safe registry segments.
+// GraphIDs hash uniformly across them, so contention on any one
+// segment lock is 1/registryShards of the single-lock design.
+const registryShards = 8
+
 // Config tunes a Service; the zero value serves with the packers'
-// calibrated defaults and a conservative concurrency bound.
+// calibrated defaults, a conservative concurrency bound, no
+// persistence, and unbounded residency.
 type Config struct {
 	// MaxConcurrent bounds how many demands execute simultaneously
 	// (scheduler rounds are CPU-bound; more in flight than cores just
@@ -71,17 +102,30 @@ type Config struct {
 	// a subscriber that falls further behind loses its oldest events
 	// (drop-oldest, counted in stats). Default 256.
 	StreamBuffer int
+	// StoreDir, when non-empty, enables the durable snapshot store:
+	// computed decompositions are persisted there write-behind, and a
+	// packing-cache miss consults the store before running a packer, so
+	// a warm restart over the same directory repacks nothing.
+	StoreDir string
+	// MaxResident bounds how many decompositions stay resident per
+	// registry segment (0 = unlimited). Beyond the bound the least
+	// recently used completed decomposition is evicted; it reloads from
+	// the store (or repacks) on its next request.
+	MaxResident int
 }
 
 // Service is the concurrent decomposition service. All methods are safe
 // for concurrent use.
 type Service struct {
-	cfg Config
-	sem chan struct{} // bounded-concurrency demand execution
+	cfg    Config
+	sem    chan struct{} // bounded-concurrency demand execution
+	store  *snap.Store   // nil when persistence is disabled
+	digest uint64        // options digest keying this service's snapshots
 
-	mu     sync.RWMutex // guards graphs, order
-	graphs map[string]*graphEntry
-	order  []string // registration order, for stable stats listings
+	shards [registryShards]registryShard
+	regSeq atomic.Uint64 // registration-order allocator for stable stats
+
+	saves sync.WaitGroup // in-flight write-behind snapshot saves
 
 	// Global counters.
 	requests     atomic.Uint64 // broadcast demands served
@@ -91,6 +135,10 @@ type Service struct {
 	packComputes atomic.Uint64 // packings actually computed
 	cacheHits    atomic.Uint64 // requests served from a completed cache entry
 	coalesced    atomic.Uint64 // requests that waited on an in-flight packing
+	storeHits    atomic.Uint64 // cache misses served from the snapshot store
+	storeMisses  atomic.Uint64 // store lookups that found no snapshot
+	storeErrors  atomic.Uint64 // corrupt/unreadable snapshots and failed saves
+	evictions    atomic.Uint64 // decompositions evicted by the residency bound
 	maxVCong     atomic.Int64  // max per-demand vertex congestion seen
 	maxECong     atomic.Int64  // max per-demand edge congestion seen
 
@@ -107,6 +155,25 @@ type Service struct {
 	bus           *eventBus
 	batchSeq      atomic.Uint64 // batch-id allocator (ids start at 1)
 	eventsDropped atomic.Uint64 // events lost to the slow-subscriber policy
+}
+
+// registryShard is one goroutine-safe segment of the graph registry:
+// a slice of the id→graph map plus the LRU list of decompositions
+// resident in this segment (front = most recently used). The shard
+// mutex also covers the packs map of every graphEntry owned by the
+// shard, so cache checkout, insertion, and eviction are one critical
+// section.
+type registryShard struct {
+	mu     sync.Mutex // guards graphs, lru
+	graphs map[string]*graphEntry
+	lru    *list.List // of *residentEntry
+}
+
+// residentEntry is one resident decomposition on a shard's LRU list.
+type residentEntry struct {
+	e    *graphEntry
+	kind Kind
+	pe   *packEntry
 }
 
 // pairCount is the (delivered, expected) chaos accounting pair. Both
@@ -133,12 +200,14 @@ func (p *pairCount) load() (delivered, expected uint64) {
 }
 
 // graphEntry is one registered graph with its per-kind packing cache
-// and stats.
+// and stats. packs is guarded by the owning shard's mutex (cache
+// checkout and LRU maintenance must be atomic across the shard's
+// graphs, so the lock cannot live here).
 type graphEntry struct {
-	id string
-	g  *graph.Graph
-
-	mu    sync.Mutex // guards packs
+	id    string
+	seq   uint64 // registration order, for stable stats listings
+	g     *graph.Graph
+	shard *registryShard
 	packs map[Kind]*packEntry
 
 	requests  atomic.Uint64
@@ -146,6 +215,7 @@ type graphEntry struct {
 	cacheHits atomic.Uint64
 	coalesced atomic.Uint64
 	computes  atomic.Uint64
+	storeHits atomic.Uint64
 	maxVCong  atomic.Int64
 	maxECong  atomic.Int64
 
@@ -158,15 +228,20 @@ type graphEntry struct {
 // packEntry is one cached decomposition: the singleflight slot, the
 // prototype scheduler whose immutable core every pooled clone shares,
 // and the clone pool itself. done is closed once the leader finished
-// (successfully or not); proto/trees/size/err are written only before
-// that close, so followers read them race-free after <-done.
+// (computing, loading from the store, or failing); proto/trees/wtrees/
+// size/err are written only before that close, so followers read them
+// race-free after <-done. elem is the entry's node on its shard's LRU
+// list (nil once evicted); it is guarded by the shard mutex like the
+// packs map.
 type packEntry struct {
-	done  chan struct{}
-	proto *cast.Scheduler
-	pool  sync.Pool
-	trees int
-	size  float64
-	err   error
+	done   chan struct{}
+	proto  *cast.Scheduler
+	pool   sync.Pool
+	wtrees []cast.WeightedTree // the packed trees, for snapshotting
+	trees  int
+	size   float64
+	err    error
+	elem   *list.Element
 }
 
 // New builds an empty service.
@@ -186,7 +261,14 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
-		graphs: make(map[string]*graphEntry),
+		digest: snap.OptionsDigest(cfg.PackSeed, cfg.Epsilon),
+	}
+	if cfg.StoreDir != "" {
+		s.store = snap.NewStore(cfg.StoreDir)
+	}
+	for i := range s.shards {
+		s.shards[i].graphs = make(map[string]*graphEntry) //repro:allow guardedfield constructor: service not yet published
+		s.shards[i].lru = list.New()                      //repro:allow guardedfield constructor: service not yet published
 	}
 	s.bus = newEventBus(&s.eventsDropped)
 	return s
@@ -195,18 +277,15 @@ func New(cfg Config) *Service {
 // GraphID is the registry key: a content hash over the canonical
 // (sorted, deduplicated) edge list, so isomorphic inputs with the same
 // labeling always map to the same entry regardless of edge order or
-// duplicates in the request.
-func GraphID(g *graph.Graph) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
-	h.Write(buf[:])
-	for _, e := range g.Edges() {
-		binary.LittleEndian.PutUint32(buf[:4], uint32(e.U))
-		binary.LittleEndian.PutUint32(buf[4:], uint32(e.V))
-		h.Write(buf[:])
-	}
-	return fmt.Sprintf("g%016x", h.Sum64())
+// duplicates in the request. It is the same key internal/snap embeds in
+// snapshot files.
+func GraphID(g *graph.Graph) string { return snap.GraphKey(g) }
+
+// shardFor maps a graph id to its registry segment.
+func (s *Service) shardFor(id string) *registryShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.shards[h.Sum32()%registryShards]
 }
 
 // Register adds a graph from an edge list (duplicates and self-loops
@@ -234,16 +313,22 @@ func (s *Service) Register(n int, edges [][2]int) (string, error) {
 // instead of silently serving one graph's decomposition for another.
 func (s *Service) RegisterGraph(g *graph.Graph) (string, error) {
 	id := GraphID(g)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.graphs[id]; ok {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.graphs[id]; ok {
 		if !sameGraph(e.g, g) {
 			return "", fmt.Errorf("serve: graph id collision on %s (registry holds a different graph)", id)
 		}
 		return id, nil
 	}
-	s.graphs[id] = &graphEntry{id: id, g: g, packs: make(map[Kind]*packEntry)}
-	s.order = append(s.order, id)
+	sh.graphs[id] = &graphEntry{
+		id:    id,
+		seq:   s.regSeq.Add(1),
+		g:     g,
+		shard: sh,
+		packs: make(map[Kind]*packEntry),
+	}
 	return id, nil
 }
 
@@ -271,20 +356,27 @@ func (s *Service) Graph(id string) (*graph.Graph, bool) {
 }
 
 func (s *Service) lookup(id string) (*graphEntry, bool) {
-	s.mu.RLock()
-	e, ok := s.graphs[id]
-	s.mu.RUnlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.graphs[id]
+	sh.mu.Unlock()
 	return e, ok
 }
 
 // DecompInfo describes a cached (or just-computed) decomposition.
 type DecompInfo struct {
-	GraphID string  `json:"graph_id"`
-	Kind    Kind    `json:"kind"`
-	Trees   int     `json:"trees"`
-	Size    float64 `json:"size"`
-	// Cached reports whether this request was served from the cache
-	// (false exactly for the one request that triggered the packing).
+	// GraphID is the content-hash registry key the decomposition
+	// belongs to.
+	GraphID string `json:"graph_id"`
+	// Kind is the decomposition kind this info describes.
+	Kind Kind `json:"kind"`
+	// Trees is the number of trees in the packing.
+	Trees int `json:"trees"`
+	// Size is the packing size Σ w_τ.
+	Size float64 `json:"size"`
+	// Cached reports whether this request was served without running a
+	// packer — from the in-memory cache or the snapshot store (false
+	// exactly for the one request that triggered the packing).
 	Cached bool `json:"cached"`
 }
 
@@ -292,7 +384,9 @@ type DecompInfo struct {
 // computing and caching it on first request. Concurrent first requests
 // singleflight: exactly one runs the packer, the rest block until it
 // finishes and share the result (or its error, which is cached too —
-// the packers are deterministic, so retrying cannot help). On error the
+// the packers are deterministic, so retrying cannot help). With a
+// snapshot store configured, the cache-missing leader first tries the
+// store and only packs when no valid snapshot exists. On error the
 // returned info is zero: a failed packing has no trees or size to report.
 func (s *Service) Decompose(id string, kind Kind) (DecompInfo, error) {
 	e, ok := s.lookup(id)
@@ -310,20 +404,28 @@ func (s *Service) Decompose(id string, kind Kind) (DecompInfo, error) {
 }
 
 // pack is the singleflight packing cache: the first caller for a
-// (graph, kind) becomes the leader and computes; everyone else waits on
-// the entry's done channel. hit reports whether this caller avoided the
-// computation. A follower that finds the entry already complete is a
-// true cache hit; one that has to block the full pack duration behind
-// the in-flight leader is counted as coalesced instead — the two tell
-// very different latency stories and the stats keep them apart.
+// (graph, kind) becomes the leader; everyone else waits on the entry's
+// done channel. hit reports whether this caller avoided running a
+// packer — a follower that finds the entry already complete is a true
+// cache hit, one that blocks the full pack duration behind the
+// in-flight leader is counted as coalesced (the two tell very
+// different latency stories), and a leader that restores the
+// decomposition from the snapshot store is a store hit. Every request
+// lands in exactly one of those buckets or in PackComputes, so
+// PackRequests == PackComputes + CacheHits + Coalesced + StoreHits
+// always holds.
 func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
 	if !kind.valid() {
 		return nil, false, fmt.Errorf("serve: unknown decomposition kind %q", kind)
 	}
 	s.packRequests.Add(1)
-	e.mu.Lock()
+	sh := e.shard
+	sh.mu.Lock()
 	if pe, ok := e.packs[kind]; ok {
-		e.mu.Unlock()
+		if pe.elem != nil {
+			sh.lru.MoveToFront(pe.elem)
+		}
+		sh.mu.Unlock()
 		select {
 		case <-pe.done:
 			s.cacheHits.Add(1)
@@ -337,22 +439,181 @@ func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
 	}
 	pe := &packEntry{done: make(chan struct{})}
 	e.packs[kind] = pe
-	e.mu.Unlock()
+	pe.elem = sh.lru.PushFront(&residentEntry{e: e, kind: kind, pe: pe})
+	s.evictExcessLocked(sh)
+	sh.mu.Unlock()
+
+	// Leader path: consult the snapshot store before packing. Any load
+	// failure — missing, torn, tampered, wrong version, oracle-rejected
+	// — degrades to a recompute, never to a request error.
+	if s.store != nil {
+		if sn, err := s.store.Load(e.id, string(kind), s.digest); err == nil {
+			if aerr := s.adopt(e, kind, pe, sn); aerr == nil {
+				s.storeHits.Add(1)
+				e.storeHits.Add(1)
+				close(pe.done)
+				return pe, true, nil
+			}
+			s.storeErrors.Add(1)
+		} else if errors.Is(err, snap.ErrNotFound) {
+			s.storeMisses.Add(1)
+		} else {
+			s.storeErrors.Add(1)
+		}
+	}
 
 	s.packComputes.Add(1)
 	e.computes.Add(1)
-	pe.trees, pe.size, pe.proto, pe.err = s.compute(e.g, kind)
+	pe.trees, pe.size, pe.wtrees, pe.proto, pe.err = s.compute(e.g, kind)
 	if pe.proto != nil {
 		proto := pe.proto
 		pe.pool.New = func() any { return proto.Clone() }
 	}
 	close(pe.done)
+	if s.store != nil && pe.err == nil {
+		s.saveAsync(e, kind, pe)
+	}
 	return pe, false, nil
+}
+
+// evictExcessLocked drops least-recently-used completed decompositions
+// from the shard until it is back under the residency bound. In-flight
+// entries (leader still packing or loading) are skipped: their waiters
+// hold the entry pointer and the work is about to be needed. Called
+// with the shard mutex held.
+func (s *Service) evictExcessLocked(sh *registryShard) {
+	if s.cfg.MaxResident <= 0 {
+		return
+	}
+	for sh.lru.Len() > s.cfg.MaxResident {
+		evicted := false
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			re := el.Value.(*residentEntry)
+			select {
+			case <-re.pe.done:
+			default:
+				continue // in flight: not evictable
+			}
+			sh.lru.Remove(el)
+			re.pe.elem = nil
+			delete(re.e.packs, re.kind)
+			s.evictions.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything over the bound is still in flight
+		}
+	}
+}
+
+// adopt installs a verified snapshot as this entry's decomposition:
+// the trees are checked against the internal/check packing oracles for
+// the registered graph (a tampered or stale file can never poison
+// results) and the prototype scheduler is rebuilt from them exactly as
+// compute would have.
+func (s *Service) adopt(e *graphEntry, kind Kind, pe *packEntry, sn *snap.Snapshot) error {
+	if err := sn.Verify(e.g); err != nil {
+		return err
+	}
+	trees := make([]cast.WeightedTree, len(sn.Trees))
+	for i, t := range sn.Trees {
+		trees[i] = cast.WeightedTree{Tree: t.Tree, Weight: t.Weight}
+	}
+	model := sim.VCongest
+	if kind == Spanning {
+		model = sim.ECongest
+	}
+	sched, err := cast.NewScheduler(e.g, trees, model)
+	if err != nil {
+		return fmt.Errorf("serve: scheduler construction from snapshot: %w", err)
+	}
+	pe.trees = len(trees)
+	pe.size = sn.Size
+	pe.wtrees = trees
+	pe.proto = sched
+	pe.pool.New = func() any { return sched.Clone() }
+	return nil
+}
+
+// saveAsync persists a freshly computed decomposition write-behind:
+// the request that computed it returns immediately and the snapshot
+// lands on disk in the background. FlushStore waits for all pending
+// saves (call it before shutdown or before asserting on-disk state).
+func (s *Service) saveAsync(e *graphEntry, kind Kind, pe *packEntry) {
+	s.saves.Add(1)
+	go func() {
+		defer s.saves.Done()
+		trees := make([]check.Weighted, len(pe.wtrees))
+		for i, t := range pe.wtrees {
+			trees[i] = check.Weighted{Tree: t.Tree, Weight: t.Weight}
+		}
+		sn, err := snap.Capture(e.g, string(kind), s.digest, trees, pe.size)
+		if err == nil {
+			err = s.store.Save(sn)
+		}
+		if err != nil {
+			s.storeErrors.Add(1)
+		}
+	}()
+}
+
+// FlushStore blocks until every pending write-behind snapshot save has
+// completed. A no-op when no store is configured.
+func (s *Service) FlushStore() { s.saves.Wait() }
+
+// Ingest registers a snapshot's graph and installs its decomposition
+// into the cache without packing — the interchange path for files
+// produced by cmd/decompose -o or another service sharing this
+// service's packing options. The snapshot must carry this service's
+// options digest (otherwise its trees would differ from what this
+// service computes, breaking replay determinism) and must pass the
+// packing oracles for its own graph. With a store configured the
+// snapshot is also persisted under its canonical key, so it survives
+// further restarts. Returns the registered graph id.
+func (s *Service) Ingest(sn *snap.Snapshot) (string, error) {
+	if sn.OptionsDigest != s.digest {
+		return "", fmt.Errorf("serve: snapshot options digest %016x does not match service digest %016x (PackSeed/Epsilon differ)",
+			sn.OptionsDigest, s.digest)
+	}
+	kind := Kind(sn.Kind)
+	if !kind.valid() {
+		return "", fmt.Errorf("serve: unknown decomposition kind %q", sn.Kind)
+	}
+	g := sn.Graph()
+	id, err := s.RegisterGraph(g)
+	if err != nil {
+		return "", err
+	}
+	e, _ := s.lookup(id)
+	sh := e.shard
+	sh.mu.Lock()
+	if _, ok := e.packs[kind]; ok {
+		sh.mu.Unlock()
+		return id, nil // already resident; the cached entry wins
+	}
+	pe := &packEntry{done: make(chan struct{})}
+	e.packs[kind] = pe
+	pe.elem = sh.lru.PushFront(&residentEntry{e: e, kind: kind, pe: pe})
+	s.evictExcessLocked(sh)
+	sh.mu.Unlock()
+	aerr := s.adopt(e, kind, pe, sn)
+	if aerr != nil {
+		pe.err = fmt.Errorf("serve: ingested snapshot rejected: %w", aerr)
+	}
+	close(pe.done)
+	if aerr != nil {
+		return "", pe.err
+	}
+	if s.store != nil {
+		s.saveAsync(e, kind, pe)
+	}
+	return id, nil
 }
 
 // compute runs the packer for the kind and builds the prototype
 // scheduler whose core all pooled clones will share.
-func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, *cast.Scheduler, error) {
+func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, []cast.WeightedTree, *cast.Scheduler, error) {
 	var (
 		trees []cast.WeightedTree
 		size  float64
@@ -362,7 +623,7 @@ func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, *cast.Schedu
 	case Dominating:
 		p, err := cds.Pack(g, cds.Options{Seed: s.cfg.PackSeed})
 		if err != nil {
-			return 0, 0, nil, fmt.Errorf("serve: dominating-tree packing: %w", err)
+			return 0, 0, nil, nil, fmt.Errorf("serve: dominating-tree packing: %w", err)
 		}
 		trees = make([]cast.WeightedTree, len(p.Trees))
 		for i, t := range p.Trees {
@@ -373,7 +634,7 @@ func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, *cast.Schedu
 	case Spanning:
 		p, err := stp.Pack(g, stp.Options{Seed: s.cfg.PackSeed, Epsilon: s.cfg.Epsilon})
 		if err != nil {
-			return 0, 0, nil, fmt.Errorf("serve: spanning-tree packing: %w", err)
+			return 0, 0, nil, nil, fmt.Errorf("serve: spanning-tree packing: %w", err)
 		}
 		trees = make([]cast.WeightedTree, len(p.Trees))
 		for i, t := range p.Trees {
@@ -384,9 +645,9 @@ func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, *cast.Schedu
 	}
 	sched, err := cast.NewScheduler(g, trees, model)
 	if err != nil {
-		return 0, 0, nil, fmt.Errorf("serve: scheduler construction: %w", err)
+		return 0, 0, nil, nil, fmt.Errorf("serve: scheduler construction: %w", err)
 	}
-	return len(trees), size, sched, nil
+	return len(trees), size, trees, sched, nil
 }
 
 // Broadcast serves one demand over the graph's cached decomposition
@@ -531,16 +792,25 @@ func maxInt64(m *atomic.Int64, v int64) {
 
 // GraphStats is the per-graph slice of the service counters.
 type GraphStats struct {
-	ID                  string `json:"id"`
-	N                   int    `json:"n"`
-	M                   int    `json:"m"`
-	Requests            uint64 `json:"requests"`
-	Rounds              uint64 `json:"rounds"`
-	CacheHits           uint64 `json:"cache_hits"`
-	Coalesced           uint64 `json:"coalesced"`
-	PackComputes        uint64 `json:"pack_computes"`
-	MaxVertexCongestion int64  `json:"max_vertex_congestion"`
-	MaxEdgeCongestion   int64  `json:"max_edge_congestion"`
+	// ID is the graph's content-hash registry key.
+	ID string `json:"id"`
+	// N and M are the graph's vertex and edge counts.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Requests counts broadcast demands served against this graph.
+	Requests uint64 `json:"requests"`
+	// Rounds accumulates scheduler rounds across this graph's demands.
+	Rounds uint64 `json:"rounds"`
+	// CacheHits, Coalesced, PackComputes, and StoreHits split this
+	// graph's decomposition requests the same way the global Stats do.
+	CacheHits    uint64 `json:"cache_hits"`
+	Coalesced    uint64 `json:"coalesced"`
+	PackComputes uint64 `json:"pack_computes"`
+	StoreHits    uint64 `json:"store_hits"`
+	// MaxVertexCongestion and MaxEdgeCongestion are the per-demand
+	// congestion maxima seen on this graph.
+	MaxVertexCongestion int64 `json:"max_vertex_congestion"`
+	MaxEdgeCongestion   int64 `json:"max_edge_congestion"`
 	// Chaos-mode counters: faulted demands served against this graph,
 	// their reroutes and losses, and the achieved delivered fraction
 	// across all of them (1 when no faulted demand has been served).
@@ -552,10 +822,18 @@ type GraphStats struct {
 
 // Stats is a snapshot of the service counters.
 type Stats struct {
-	Graphs       int    `json:"graphs"`
-	Requests     uint64 `json:"requests"`
-	Messages     uint64 `json:"messages"`
-	Rounds       uint64 `json:"rounds"`
+	// Graphs is the number of registered graphs.
+	Graphs int `json:"graphs"`
+	// Requests, Messages, and Rounds count served demands, disseminated
+	// messages, and accumulated scheduler rounds.
+	Requests uint64 `json:"requests"`
+	Messages uint64 `json:"messages"`
+	Rounds   uint64 `json:"rounds"`
+	// PackRequests counts decomposition requests; PackComputes the
+	// packings actually run. Every request is exactly one of the
+	// compute leader, a cache hit, a coalesced follower, or a store
+	// hit: PackRequests == PackComputes + CacheHits + Coalesced +
+	// StoreHits.
 	PackRequests uint64 `json:"pack_requests"`
 	PackComputes uint64 `json:"pack_computes"`
 	// CacheHits counts decomposition requests served from a completed
@@ -563,29 +841,53 @@ type Stats struct {
 	// packing (singleflight followers). Hits are cheap, coalesced
 	// requests pay the full pack latency — the split keeps the two
 	// distinguishable in latency analysis.
-	CacheHits           uint64  `json:"cache_hits"`
-	Coalesced           uint64  `json:"coalesced"`
-	MaxVertexCongestion int64   `json:"max_vertex_congestion"`
-	MaxEdgeCongestion   int64   `json:"max_edge_congestion"`
-	FaultedRequests     uint64  `json:"faulted_requests"`
-	MessagesLost        uint64  `json:"messages_lost"`
-	Retries             uint64  `json:"retries"`
-	DeliveredFraction   float64 `json:"delivered_fraction"`
+	CacheHits uint64 `json:"cache_hits"`
+	Coalesced uint64 `json:"coalesced"`
+	// StoreHits counts cache misses restored from the snapshot store
+	// instead of packed; StoreMisses the store lookups that found
+	// nothing; StoreErrors the corrupt/unreadable snapshots and failed
+	// write-behind saves (each such miss or error degrades to a
+	// recompute, never to a request error).
+	StoreHits   uint64 `json:"store_hits"`
+	StoreMisses uint64 `json:"store_misses"`
+	StoreErrors uint64 `json:"store_errors"`
+	// Resident is the number of decompositions currently held in
+	// memory; Evictions counts those dropped by the per-segment
+	// residency bound (Config.MaxResident) since startup.
+	Resident  int    `json:"resident"`
+	Evictions uint64 `json:"evictions"`
+	// MaxVertexCongestion and MaxEdgeCongestion are the per-demand
+	// congestion maxima across all graphs.
+	MaxVertexCongestion int64 `json:"max_vertex_congestion"`
+	MaxEdgeCongestion   int64 `json:"max_edge_congestion"`
+	// FaultedRequests, MessagesLost, Retries, and DeliveredFraction
+	// aggregate the chaos-mode accounting across all graphs.
+	FaultedRequests   uint64  `json:"faulted_requests"`
+	MessagesLost      uint64  `json:"messages_lost"`
+	Retries           uint64  `json:"retries"`
+	DeliveredFraction float64 `json:"delivered_fraction"`
 	// EventsDropped counts streaming events lost to the slow-subscriber
 	// drop-oldest policy across all subscribers.
-	EventsDropped uint64       `json:"events_dropped"`
-	PerGraph      []GraphStats `json:"per_graph"`
+	EventsDropped uint64 `json:"events_dropped"`
+	// PerGraph lists the per-graph counters in registration order.
+	PerGraph []GraphStats `json:"per_graph"`
 }
 
 // Stats snapshots the global and per-graph counters (per-graph entries
-// in registration order).
+// in registration order across all registry segments).
 func (s *Service) Stats() Stats {
-	s.mu.RLock()
-	entries := make([]*graphEntry, 0, len(s.order))
-	for _, id := range s.order {
-		entries = append(entries, s.graphs[id])
+	var entries []*graphEntry
+	resident := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.graphs {
+			entries = append(entries, e)
+		}
+		resident += sh.lru.Len()
+		sh.mu.Unlock()
 	}
-	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
 	delivered, expected := s.pairs.load()
 	st := Stats{
 		Graphs:              len(entries),
@@ -596,6 +898,11 @@ func (s *Service) Stats() Stats {
 		PackComputes:        s.packComputes.Load(),
 		CacheHits:           s.cacheHits.Load(),
 		Coalesced:           s.coalesced.Load(),
+		StoreHits:           s.storeHits.Load(),
+		StoreMisses:         s.storeMisses.Load(),
+		StoreErrors:         s.storeErrors.Load(),
+		Resident:            resident,
+		Evictions:           s.evictions.Load(),
 		MaxVertexCongestion: s.maxVCong.Load(),
 		MaxEdgeCongestion:   s.maxECong.Load(),
 		FaultedRequests:     s.faultedRequests.Load(),
@@ -615,6 +922,7 @@ func (s *Service) Stats() Stats {
 			CacheHits:           e.cacheHits.Load(),
 			Coalesced:           e.coalesced.Load(),
 			PackComputes:        e.computes.Load(),
+			StoreHits:           e.storeHits.Load(),
 			MaxVertexCongestion: e.maxVCong.Load(),
 			MaxEdgeCongestion:   e.maxECong.Load(),
 			FaultedRequests:     e.faultedRequests.Load(),

@@ -1,0 +1,374 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cds"
+	"repro/internal/check"
+	"repro/internal/graph"
+	"repro/internal/stp"
+)
+
+// packSpanning packs the test graph's spanning trees and converts to
+// the neutral check.Weighted shape.
+func packSpanning(t *testing.T, g *graph.Graph, seed uint64) ([]check.Weighted, float64) {
+	t.Helper()
+	p, err := stp.Pack(g, stp.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("stp.Pack: %v", err)
+	}
+	trees := make([]check.Weighted, len(p.Trees))
+	for i, tr := range p.Trees {
+		trees[i] = check.Weighted{Tree: tr.Tree, Weight: tr.Weight}
+	}
+	return trees, p.Size()
+}
+
+// packDominating packs dominating trees of the test graph.
+func packDominating(t *testing.T, g *graph.Graph, seed uint64) ([]check.Weighted, float64) {
+	t.Helper()
+	p, err := cds.Pack(g, cds.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("cds.Pack: %v", err)
+	}
+	trees := make([]check.Weighted, len(p.Trees))
+	for i, tr := range p.Trees {
+		trees[i] = check.Weighted{Tree: tr.Tree, Weight: tr.Weight}
+	}
+	return trees, p.Size()
+}
+
+func testGraph() *graph.Graph { return graph.Hypercube(4) }
+
+// sameTrees requires byte-level equality of two tree collections:
+// same order, weights, roots, vertex sets, and parent pointers.
+func sameTrees(t *testing.T, a, b []check.Weighted) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("tree count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		ta, tb := a[i].Tree, b[i].Tree
+		if a[i].Weight != b[i].Weight {
+			t.Fatalf("tree %d weight %v != %v", i, a[i].Weight, b[i].Weight)
+		}
+		if ta.Root() != tb.Root() || ta.Size() != tb.Size() {
+			t.Fatalf("tree %d shape (root=%d,size=%d) != (root=%d,size=%d)",
+				i, ta.Root(), ta.Size(), tb.Root(), tb.Size())
+		}
+		va, vb := ta.Vertices(), tb.Vertices()
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatalf("tree %d vertex %d: %d != %d", i, j, va[j], vb[j])
+			}
+			pa, oka := ta.Parent(int(va[j]))
+			pb, okb := tb.Parent(int(vb[j]))
+			if pa != pb || oka != okb {
+				t.Fatalf("tree %d parent of %d: (%d,%v) != (%d,%v)", i, va[j], pa, oka, pb, okb)
+			}
+		}
+	}
+}
+
+func TestRoundTripSpanning(t *testing.T) {
+	g := testGraph()
+	trees, size := packSpanning(t, g, 7)
+	digest := OptionsDigest(7, 0)
+	s, err := Capture(g, KindSpanning, digest, trees, size)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.N != g.N() || len(got.Edges) != g.M() || got.Kind != KindSpanning ||
+		got.OptionsDigest != digest || got.Size != size {
+		t.Fatalf("header round-trip: %+v", got)
+	}
+	if got.GraphKey() != GraphKey(g) {
+		t.Fatalf("graph key %s != %s", got.GraphKey(), GraphKey(g))
+	}
+	sameTrees(t, trees, got.Trees)
+	if err := got.Verify(g); err != nil {
+		t.Fatalf("Verify after round-trip: %v", err)
+	}
+	// Determinism: re-encoding the decoded snapshot reproduces the bytes.
+	data2, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("encode(decode(x)) differs from x: encoding is not canonical")
+	}
+}
+
+func TestRoundTripDominating(t *testing.T) {
+	g := testGraph()
+	trees, size := packDominating(t, g, 3)
+	s, err := Capture(g, KindDominating, OptionsDigest(3, 0), trees, size)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	sameTrees(t, trees, got.Trees)
+	if err := got.Verify(g); err != nil {
+		t.Fatalf("Verify after round-trip: %v", err)
+	}
+}
+
+// encodeSpanning is the shared fixture for the corruption tests.
+func encodeSpanning(t *testing.T) ([]byte, *graph.Graph) {
+	t.Helper()
+	g := testGraph()
+	trees, size := packSpanning(t, g, 7)
+	s, err := Capture(g, KindSpanning, OptionsDigest(7, 0), trees, size)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data, g
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, _ := encodeSpanning(t)
+	cases := map[string]func([]byte) []byte{
+		"empty":     func(b []byte) []byte { return nil },
+		"tiny":      func(b []byte) []byte { return b[:8] },
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"no-trailer": func(b []byte) []byte {
+			return b[:len(b)-8]
+		},
+		"bad-magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xff
+			return c
+		},
+		"wrong-version": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint32(c[8:], Version+1)
+			// Re-checksum so only the version check can reject it.
+			binary.LittleEndian.PutUint64(c[len(c)-8:], fnvSum(c[:len(c)-8]))
+			return c
+		},
+		"bit-flip-header": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[13] ^= 0x01
+			return c
+		},
+		"bit-flip-middle": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		},
+		"bit-flip-trailer": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x80
+			return c
+		},
+		"trailing-garbage": func(b []byte) []byte {
+			return append(append([]byte(nil), b...), 0xde, 0xad)
+		},
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Decode(corrupt(data))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode of %s file: err=%v, want ErrCorrupt", name, err)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsTamperedTree crafts a checksum-valid file whose tree
+// structure is broken (a vertex parented to itself far from the root),
+// and requires the structural validation to catch it.
+func TestDecodeRejectsTamperedTree(t *testing.T) {
+	data, g := encodeSpanning(t)
+	s, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// Rebuild with a cycle: point the first tree's last vertex at itself.
+	headerLen := len(magic) + 4 + 4 + 4 + 8*g.M() + 8 + 1 + 8 + 8 + 4
+	treeStart := headerLen + 8 + 4 + 4 // weight + root + vcount
+	lastPair := treeStart + 8*(s.Trees[0].Tree.Size()-2)
+	c := append([]byte(nil), data...)
+	v := binary.LittleEndian.Uint32(c[lastPair:])
+	binary.LittleEndian.PutUint32(c[lastPair+4:], v) // parent := self
+	binary.LittleEndian.PutUint64(c[len(c)-8:], fnvSum(c[:len(c)-8]))
+	if _, err := Decode(c); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("self-parented tree decoded: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestVerifyRejectsWrongGraph serves a valid snapshot against a
+// different graph and expects the oracle layer to reject it.
+func TestVerifyRejectsWrongGraph(t *testing.T) {
+	data, _ := encodeSpanning(t)
+	s, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	other := graph.Torus(4, 4) // same n, different edges
+	if err := s.Verify(other); err == nil {
+		t.Fatal("snapshot verified against a different graph")
+	}
+}
+
+// TestVerifyRejectsOverloadedPacking doubles every weight so the
+// per-edge capacity oracle must fire even though the file would
+// checksum fine.
+func TestVerifyRejectsOverloadedPacking(t *testing.T) {
+	g := testGraph()
+	trees, size := packSpanning(t, g, 7)
+	heavy := make([]check.Weighted, len(trees))
+	for i, w := range trees {
+		heavy[i] = check.Weighted{Tree: w.Tree, Weight: w.Weight * 4}
+	}
+	s, err := Capture(g, KindSpanning, 1, heavy, size*4)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if err := s.Verify(g); err == nil {
+		t.Fatal("overloaded packing passed the spanning oracle")
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore(filepath.Join(dir, "nested", "store"))
+	g := testGraph()
+	trees, size := packSpanning(t, g, 7)
+	digest := OptionsDigest(7, 0)
+	s, err := Capture(g, KindSpanning, digest, trees, size)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+
+	// Missing file (and even a missing directory) is ErrNotFound.
+	if _, err := st.Load(GraphKey(g), KindSpanning, digest); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("load before save: err=%v, want ErrNotFound", err)
+	}
+	if err := st.Save(s); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := st.Load(GraphKey(g), KindSpanning, digest)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	sameTrees(t, trees, got.Trees)
+
+	// A different digest is a different key: not found, not corrupt.
+	if _, err := st.Load(GraphKey(g), KindSpanning, digest+1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("load with wrong digest: err=%v, want ErrNotFound", err)
+	}
+
+	// No temp litter after a successful save.
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("store holds %d files after one save, want 1", len(entries))
+	}
+}
+
+// TestStoreLoadRejectsMisfiledSnapshot renames a valid snapshot onto
+// another key's path; the content/key cross-check must refuse it.
+func TestStoreLoadRejectsMisfiledSnapshot(t *testing.T) {
+	st := NewStore(t.TempDir())
+	g := testGraph()
+	trees, size := packSpanning(t, g, 7)
+	digest := OptionsDigest(7, 0)
+	s, err := Capture(g, KindSpanning, digest, trees, size)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if err := st.Save(s); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	other := graph.Torus(4, 4)
+	if err := os.Rename(
+		st.Path(GraphKey(g), KindSpanning, digest),
+		st.Path(GraphKey(other), KindSpanning, digest),
+	); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := st.Load(GraphKey(other), KindSpanning, digest); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("misfiled snapshot loaded: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreLoadRejectsTruncatedFile truncates the on-disk file in
+// place (a torn write simulation) and expects ErrCorrupt.
+func TestStoreLoadRejectsTruncatedFile(t *testing.T) {
+	st := NewStore(t.TempDir())
+	g := testGraph()
+	trees, size := packDominating(t, g, 3)
+	digest := OptionsDigest(3, 0)
+	s, err := Capture(g, KindDominating, digest, trees, size)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if err := st.Save(s); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := st.Path(GraphKey(g), KindDominating, digest)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(path, info.Size()/3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, err := st.Load(GraphKey(g), KindDominating, digest); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated snapshot loaded: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestCaptureRejectsBadInput(t *testing.T) {
+	g := testGraph()
+	trees, size := packSpanning(t, g, 7)
+	if _, err := Capture(g, "mystery", 1, trees, size); err == nil {
+		t.Fatal("Capture accepted an unknown kind")
+	}
+	if _, err := Capture(g, KindSpanning, 1, nil, 0); err == nil {
+		t.Fatal("Capture accepted an empty packing")
+	}
+}
+
+func TestSnapshotGraphRebuild(t *testing.T) {
+	g := testGraph()
+	trees, size := packSpanning(t, g, 7)
+	s, err := Capture(g, KindSpanning, 1, trees, size)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	rebuilt := s.Graph()
+	if rebuilt.N() != g.N() || rebuilt.M() != g.M() {
+		t.Fatalf("rebuilt graph n=%d m=%d, want n=%d m=%d", rebuilt.N(), rebuilt.M(), g.N(), g.M())
+	}
+	if GraphKey(rebuilt) != GraphKey(g) {
+		t.Fatalf("rebuilt graph key %s != %s", GraphKey(rebuilt), GraphKey(g))
+	}
+}
