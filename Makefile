@@ -56,9 +56,10 @@ cover:
 # decomposition service: singleflight packing cache, pooled clones,
 # bounded-concurrency demand execution), and the remaining packages that
 # drive the sim worker pool (cdsdist and dist run their protocols over
-# the persistent engine).
+# the persistent engine), plus obs (histograms, trace rings, and the
+# metrics registry are all written concurrently on the serve path).
 race:
-	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist ./internal/cast ./internal/serve ./internal/cdsdist ./internal/dist
+	$(GO) test -race ./internal/sim ./internal/check ./internal/stp ./internal/stpdist ./internal/cast ./internal/serve ./internal/cdsdist ./internal/dist ./internal/obs
 
 # Serving smoke: cmd/serve -selftest drives the full loop in-process
 # over a real HTTP listener — register, concurrent decompositions
@@ -96,8 +97,8 @@ bench:
 # Pre-merge regression gate: rerun the full E1-E8 measurement and fail
 # if any benchmark is more than TOLERANCE (fractional) slower than the
 # committed baseline:
-#   make bench-check [CHECK_BASELINE=BENCH_pr7.json] [TOLERANCE=0.20]
-CHECK_BASELINE ?= BENCH_pr7.json
+#   make bench-check [CHECK_BASELINE=BENCH_pr10.json] [TOLERANCE=0.20]
+CHECK_BASELINE ?= BENCH_pr10.json
 TOLERANCE ?= 0.20
 bench-check:
 	$(GO) run ./cmd/bench -check -baseline $(CHECK_BASELINE) -tolerance $(TOLERANCE)

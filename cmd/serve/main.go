@@ -18,6 +18,13 @@
 // reload from the store on demand), and -ingest FILE pre-loads a
 // snapshot written by `cmd/decompose -o` before serving.
 //
+// Every request is logged through log/slog with its request id (the
+// X-Request-Id the serving layer assigns and echoes), GET /metrics
+// serves the Prometheus text exposition, GET /v1/traces the recent
+// per-request phase traces, and -pprof ADDR opens a net/http/pprof
+// side listener kept off the API address so profiling endpoints are
+// never exposed to API clients.
+//
 // With -selftest the command instead drives the full loop in-process
 // against a real HTTP listener — register, concurrent decomposition
 // requests (asserting the singleflight packed exactly once), concurrent
@@ -25,8 +32,11 @@
 // round-trip (one pack checkout for N demands) plus its streaming
 // NDJSON twin, closed- and open-loop load runs, a persist → restart →
 // warm-serve phase (asserting zero repacks and survival of a corrupted
-// snapshot file), and a stats audit — exiting nonzero on any failure.
-// `make ci` runs it as the serving smoke test.
+// snapshot file), an observability phase (metrics scrape with the
+// pack-accounting invariant checked in the exposition text, plus a
+// trace round trip from X-Request-Id to /v1/traces), and a stats audit
+// — exiting nonzero on any failure. `make ci` runs it as the serving
+// smoke test.
 package main
 
 import (
@@ -36,11 +46,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -48,6 +63,7 @@ import (
 	"repro/internal/cast"
 	"repro/internal/ds"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/snap"
 )
@@ -58,6 +74,7 @@ func main() {
 	packSeed := flag.Uint64("pack-seed", 1, "seed for packing computations")
 	storeDir := flag.String("store", "", "snapshot store directory (empty disables persistence)")
 	maxResident := flag.Int("max-resident", 0, "resident decompositions per registry segment (0 = unlimited)")
+	pprofAddr := flag.String("pprof", "", "net/http/pprof side-listener address (empty disables)")
 	selftest := flag.Bool("selftest", false, "drive the full serving loop in-process and exit")
 	var ingest []string
 	flag.Func("ingest", "snapshot `file` to pre-load before serving (repeatable)", func(path string) error {
@@ -91,9 +108,30 @@ func main() {
 		}
 		log.Printf("ingested %s: graph %s, %s decomposition", path, id, sn.Kind)
 	}
-	log.Printf("serving on %s (max-concurrent=%d store=%q)", *addr, *maxConcurrent, *storeDir)
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+	log.Printf("serving on %s (max-concurrent=%d store=%q pprof=%q)", *addr, *maxConcurrent, *storeDir, *pprofAddr)
 	if err := run(*addr, svc); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// servePprof runs the net/http/pprof endpoints on their own listener
+// and mux, so profiling is reachable only on the side address — the
+// API mux never sees /debug/pprof and nothing registers on
+// http.DefaultServeMux.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof listening on %s", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("pprof listener: %v", err)
 	}
 }
 
@@ -115,9 +153,10 @@ func run(addr string, svc *serve.Service) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           serve.NewHandler(svc),
+		Handler:           logRequests(logger, serve.NewHandler(svc)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -143,6 +182,45 @@ func run(addr string, svc *serve.Service) error {
 	svc.FlushStore() // let write-behind snapshot saves land before exit
 	log.Printf("bye")
 	return nil
+}
+
+// logRequests emits one structured log line per request: method, path,
+// status, duration, and the request id the serving layer assigned
+// (read back from the X-Request-Id response header the inner handler
+// set, so the log line and the trace ring agree on the id).
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start),
+			"request_id", w.Header().Get("X-Request-Id"),
+		)
+	})
+}
+
+// statusWriter captures the response status for logging. Flush must be
+// forwarded explicitly: the wrapper would otherwise hide the underlying
+// http.Flusher and stall the streaming batch endpoint's per-event
+// flushes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // runSelftest exercises the full serving loop over a real HTTP listener.
@@ -335,6 +413,13 @@ func runSelftest(svc *serve.Service) error {
 	}
 	fmt.Printf("open load: %d arrivals at %.0f/s, p50=%s p95=%s p99=%s peak-pending=%d\n",
 		orep.Completed, orep.ArrivalRate, orep.LatencyP50, orep.LatencyP95, orep.LatencyP99, orep.MaxPendingSeen)
+	for _, ph := range orep.Phases {
+		if ph.Count == 0 {
+			continue
+		}
+		fmt.Printf("  phase %-10s count=%d p50=%s p95=%s max=%s\n",
+			ph.Phase, ph.Count, time.Duration(ph.P50), time.Duration(ph.P95), time.Duration(ph.Max))
+	}
 
 	// Chaos load run: every demand faulted, service keeps serving.
 	crep, err := serve.GenerateLoad(svc, serve.LoadConfig{
@@ -357,6 +442,12 @@ func runSelftest(svc *serve.Service) error {
 	// corrupted snapshot file by recomputing.
 	if err := runPersistSelftest(); err != nil {
 		return fmt.Errorf("persist: %w", err)
+	}
+
+	// Observability: metrics scrape and trace round trip on a fresh
+	// service, so the exposition values are exactly predictable.
+	if err := runObsSelftest(); err != nil {
+		return fmt.Errorf("obs: %w", err)
 	}
 
 	// Final stats audit.
@@ -494,6 +585,143 @@ func runPersistSelftest() error {
 	return nil
 }
 
+// runObsSelftest drives the observability surface over HTTP against a
+// fresh service: a traced decomposition and a traced broadcast, each
+// resolved from its echoed X-Request-Id through GET /v1/traces to the
+// recorded phase spans (and the pack profile attachment), then a
+// /metrics scrape whose exposition text must satisfy the
+// pack-accounting invariant and expose the phase histograms.
+func runObsSelftest() error {
+	svc := serve.New(serve.Config{MaxConcurrent: 4, PackSeed: 1})
+	srv := httptest.NewServer(serve.NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	g := graph.RandomHamCycles(48, 3, ds.NewRand(2))
+	var edges [][2]int
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{int(e.U), int(e.V)})
+	}
+	var info serve.GraphInfo
+	if err := post(client, srv.URL+"/v1/graphs", serve.RegisterRequest{N: g.N(), Edges: edges}, &info); err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+
+	decompID, err := postCaptureID(client, srv.URL+"/v1/graphs/"+info.ID+"/decomposition",
+		serve.DecomposeRequest{Kind: serve.Spanning}, new(serve.DecompInfo))
+	if err != nil {
+		return fmt.Errorf("decompose: %w", err)
+	}
+	castID, err := postCaptureID(client, srv.URL+"/v1/graphs/"+info.ID+"/broadcast",
+		serve.BroadcastRequest{Kind: serve.Spanning, Sources: []int{0, 5}, Seed: 3},
+		new(serve.BroadcastResponse))
+	if err != nil {
+		return fmt.Errorf("broadcast: %w", err)
+	}
+	if decompID == "" || castID == "" || decompID == castID {
+		return fmt.Errorf("request ids degenerate: decompose %q broadcast %q", decompID, castID)
+	}
+
+	var traces serve.TracesResponse
+	if err := getJSON(client, srv.URL+"/v1/traces", &traces); err != nil {
+		return fmt.Errorf("traces: %w", err)
+	}
+	dtr, err := findTrace(traces, decompID)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"registry", "pack"} {
+		if !hasSpan(dtr, name) {
+			return fmt.Errorf("decompose trace %s missing %q span: %+v", decompID, name, dtr.Spans)
+		}
+	}
+	if dtr.Attached["pack_profile"] == nil {
+		return fmt.Errorf("decompose trace %s carries no pack profile", decompID)
+	}
+	btr, err := findTrace(traces, castID)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"registry", "clone", "run"} {
+		if !hasSpan(btr, name) {
+			return fmt.Errorf("broadcast trace %s missing %q span: %+v", castID, name, btr.Spans)
+		}
+	}
+
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("metrics read: %w", err)
+	}
+	text := string(body)
+	val := func(name string) float64 {
+		v, verr := metricValue(text, name)
+		if verr != nil && err == nil {
+			err = verr
+		}
+		return v
+	}
+	pr := val("repro_serve_pack_requests_total")
+	pc := val("repro_serve_pack_computes_total")
+	ch := val("repro_serve_cache_hits_total")
+	co := val("repro_serve_coalesced_total")
+	sh := val("repro_serve_store_hits_total")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	if pr != pc+ch+co+sh {
+		return fmt.Errorf("exposed pack accounting leaks: %v requests != %v computes + %v hits + %v coalesced + %v store hits",
+			pr, pc, ch, co, sh)
+	}
+	if v := val("repro_serve_requests_total"); v != 1 {
+		return fmt.Errorf("exposed %v served requests, want 1", v)
+	}
+	if n := strings.Count(text, " histogram\n"); n < 3 {
+		return fmt.Errorf("exposition declares %d histograms, want >= 3", n)
+	}
+	fmt.Printf("obs: traces %s/%s carry phase spans + pack profile; /metrics invariant holds (%v pack requests)\n",
+		decompID, castID, pr)
+	return nil
+}
+
+// findTrace locates one trace by id in a /v1/traces response.
+func findTrace(traces serve.TracesResponse, id string) (obs.TraceData, error) {
+	for _, tr := range traces.Traces {
+		if tr.ID == id {
+			return tr, nil
+		}
+	}
+	return obs.TraceData{}, fmt.Errorf("request %s not in the trace ring (%d resident)", id, len(traces.Traces))
+}
+
+// hasSpan reports whether the trace recorded a span under name.
+func hasSpan(tr obs.TraceData, name string) bool {
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// metricValue extracts one un-labelled sample value from Prometheus
+// exposition text.
+func metricValue(text, name string) (float64, error) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not in exposition", name)
+}
+
 // streamBatchEvents posts a batch to the streaming endpoint and decodes
 // the NDJSON event stream through the terminal summary.
 func streamBatchEvents(client *http.Client, url string, req serve.BatchRequest) ([]serve.BatchEvent, error) {
@@ -527,19 +755,38 @@ func streamBatchEvents(client *http.Client, url string, req serve.BatchRequest) 
 }
 
 func post(client *http.Client, url string, body, out any) error {
+	_, err := postCaptureID(client, url, body, out)
+	return err
+}
+
+// postCaptureID posts like post and also returns the X-Request-Id the
+// serving layer echoed on the response.
+func postCaptureID(client *http.Client, url string, body, out any) (string, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
-		return err
+		return "", err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var buf bytes.Buffer
 		buf.ReadFrom(resp.Body)
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(buf.Bytes()))
+		return "", fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(buf.Bytes()))
+	}
+	return resp.Header.Get("X-Request-Id"), json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -437,6 +437,13 @@ const (
 // decomposition.
 type DecompositionInfo = serve.DecompInfo
 
+// PackProfile is the packer-internal instrumentation a freshly
+// computed DecompositionInfo carries (nil on cache and store hits):
+// MWU iteration, stop-check, and dedup counters for spanning packs;
+// layer and connectivity-class matching counters for dominating packs.
+// The serving layer also attaches it to the request's trace.
+type PackProfile = serve.PackProfile
+
 // LoadConfig describes one load run: closed loop (K workers × M
 // demands, the default) or open loop (ArrivalRate > 0, demands arriving
 // on a deterministic exponential schedule regardless of completion
@@ -446,6 +453,11 @@ type LoadConfig = serve.LoadConfig
 // LoadReport aggregates a load run's throughput and, open-loop, its
 // latency distribution and admission accounting.
 type LoadReport = serve.LoadReport
+
+// PhaseSummary is one serving phase's latency distribution in a
+// LoadReport: observation count and sum plus the exact max and the
+// p50/p95/p99 estimates of the deterministic log-scale histogram.
+type PhaseSummary = serve.PhaseSummary
 
 // BatchDemand is one demand of a service batch: a source list plus the
 // seed its tree assignment draws from.

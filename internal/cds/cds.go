@@ -139,6 +139,11 @@ type Stats struct {
 	ExcessComponents []int
 	// MatchedPerLayer counts bridging-graph matches made at each layer.
 	MatchedPerLayer []int
+	// Matched and Unmatched total the type-2 nodes across all recursive
+	// layers that were matched through the bridging graph vs. fell back
+	// to a random class (observability roll-up of MatchedPerLayer).
+	Matched   int
+	Unmatched int
 	// MaxLoad is the maximum number of distinct classes any real vertex
 	// belongs to (per-node load before fractional weighting).
 	MaxLoad int

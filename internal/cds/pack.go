@@ -54,6 +54,8 @@ func PackWithGuess(g *graph.Graph, kGuess int, opts Options) (*Packing, error) {
 	for layer := half; layer < layers; layer++ {
 		matchedCount := assignLayer(g, vg, scratch, rng, layer, classes)
 		stats.MatchedPerLayer = append(stats.MatchedPerLayer, matchedCount)
+		stats.Matched += matchedCount
+		stats.Unmatched += n - matchedCount
 		stats.ExcessComponents = append(stats.ExcessComponents, vg.excess())
 	}
 

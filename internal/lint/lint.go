@@ -157,10 +157,21 @@ var fingerprinted = map[string]bool{
 	"repro/internal/flow":    true,
 }
 
+// obsExempt is the explicit observability carve-out: internal/obs
+// measures wall-clock durations by design (trace spans, latency
+// histograms), so the nondeterminism sources the determinism analyzers
+// hunt are legal there. The exemption is subtracted inside
+// DefaultFingerprinted — not just left out of the set above — so it
+// keeps holding even if obs is ever added to the fingerprint surface
+// (say, because a golden starts summarizing histogram bucket counts).
+var obsExempt = map[string]bool{
+	"repro/internal/obs": true,
+}
+
 // DefaultFingerprinted reports whether the import path is one of the
 // fingerprinted packages (the default scope predicate for
-// FingerprintedOnly analyzers).
-func DefaultFingerprinted(path string) bool { return fingerprinted[path] }
+// FingerprintedOnly analyzers), minus the observability carve-out.
+func DefaultFingerprinted(path string) bool { return fingerprinted[path] && !obsExempt[path] }
 
 // docScoped is the set of API-surface packages whose exported
 // declarations must carry doc comments: the root facade every external

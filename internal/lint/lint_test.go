@@ -166,9 +166,35 @@ func TestFingerprintedScope(t *testing.T) {
 			t.Errorf("%s must be fingerprinted", path)
 		}
 	}
-	for _, path := range []string{"repro", "repro/internal/serve", "repro/internal/lint", "repro/cmd/serve"} {
+	for _, path := range []string{"repro", "repro/internal/serve", "repro/internal/lint", "repro/internal/obs", "repro/cmd/serve"} {
 		if DefaultFingerprinted(path) {
 			t.Errorf("%s must not be fingerprinted", path)
+		}
+	}
+}
+
+// TestObsCarveOut pins the observability carve-out with one fixture
+// loaded under two identities: the identical time.Since call passes
+// when the package is repro/internal/obs (wall-clock is that layer's
+// purpose) and still fails when it sits in a fingerprinted package.
+func TestObsCarveOut(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "nondetsource", "obsclock")
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"repro/internal/obs", 0},
+		{"repro/internal/stp", 1},
+	} {
+		// A fresh loader per identity: LoadDir memoizes by import path,
+		// and the second load must not see the first's package.
+		pkg, err := newTestLoader(t).LoadDir(dir, tc.path)
+		if err != nil {
+			t.Fatalf("LoadDir as %s: %v", tc.path, err)
+		}
+		diags := Run(Config{Analyzers: []*Analyzer{NonDetSource}}, []*Package{pkg})
+		if len(diags) != tc.want {
+			t.Errorf("as %s: want %d finding(s), got %d: %v", tc.path, tc.want, len(diags), diags)
 		}
 	}
 }

@@ -1,0 +1,14 @@
+// Package obsclock is the observability carve-out fixture. It contains
+// the exact time.Since use nondetsource flags in fingerprinted
+// packages; TestObsCarveOut loads it once as repro/internal/obs (must
+// pass — wall-clock measurement is the layer's purpose) and once as
+// repro/internal/stp (must still fail).
+package obsclock
+
+import "time"
+
+// Elapsed measures a wall-clock duration, the observability layer's
+// bread and butter and a determinism violation everywhere else.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one recorded phase of a trace: a name, the offset from the
+// trace's start, and the phase duration, both in nanoseconds.
+type Span struct {
+	Name       string `json:"name"`
+	StartNs    int64  `json:"start_ns"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+// Trace collects the phase spans of one request. It travels through
+// context.Context (WithTrace / FromContext), and every method is
+// nil-receiver-safe so instrumented code paths record unconditionally —
+// a request without a trace attached simply records nothing. All
+// methods are safe for concurrent use (a batch request runs demands in
+// parallel over one trace).
+type Trace struct {
+	id    string
+	begin time.Time
+
+	mu     sync.Mutex // guards spans, attach
+	spans  []Span
+	attach map[string]any
+}
+
+// NewTrace starts a trace now under the given id (NewID() makes one).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, begin: time.Now()}
+}
+
+// ID returns the trace id ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Record appends a span that started at start and ends now.
+func (t *Trace) Record(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	sp := Span{
+		Name:       name,
+		StartNs:    start.Sub(t.begin).Nanoseconds(),
+		DurationNs: time.Since(start).Nanoseconds(),
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Attach stores a structured payload (e.g. a pack profile) under key,
+// carried verbatim into the trace's Data snapshot.
+func (t *Trace) Attach(key string, v any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.attach == nil {
+		t.attach = make(map[string]any)
+	}
+	t.attach[key] = v
+	t.mu.Unlock()
+}
+
+// HasSpans reports whether any span has been recorded (false on nil).
+func (t *Trace) HasSpans() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans) > 0
+}
+
+// TraceData is a trace's serializable snapshot: the id, the wall-clock
+// start, the span list in recording order, the overall duration (first
+// span start to last span end), and any attachments.
+type TraceData struct {
+	ID         string         `json:"id"`
+	Start      time.Time      `json:"start"`
+	DurationNs int64          `json:"duration_ns"`
+	Spans      []Span         `json:"spans"`
+	Attached   map[string]any `json:"attached,omitempty"`
+}
+
+// Data snapshots the trace. The copy is deep for the span list and
+// shallow for attachment values (attachments are treated as immutable
+// once attached).
+func (t *Trace) Data() TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := TraceData{ID: t.id, Start: t.begin, Spans: append([]Span(nil), t.spans...)}
+	for _, sp := range d.Spans {
+		if end := sp.StartNs + sp.DurationNs; end > d.DurationNs {
+			d.DurationNs = end
+		}
+	}
+	if len(t.attach) > 0 {
+		d.Attached = make(map[string]any, len(t.attach))
+		for k, v := range t.attach {
+			d.Attached[k] = v
+		}
+	}
+	return d
+}
+
+// traceKey is the context key Trace travels under.
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — safe to use
+// directly as a receiver, since Trace methods accept nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Ring is a fixed-capacity ring of recent traces backing a
+// recent-traces endpoint. Add is O(1); Snapshot copies out the resident
+// traces newest-first. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex // guards buf, next, total
+	buf   []*Trace
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding the last n traces (n < 1 is treated
+// as 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]*Trace, n)}
+}
+
+// Add inserts a trace, evicting the oldest when full.
+func (r *Ring) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of traces ever added (a counter metric).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the resident traces' data, newest first, at most
+// limit entries (limit <= 0 means all resident).
+func (r *Ring) Snapshot(limit int) []TraceData {
+	r.mu.Lock()
+	var traces []*Trace
+	n := len(r.buf)
+	for i := 1; i <= n; i++ {
+		t := r.buf[(r.next-i+n)%n]
+		if t == nil {
+			break
+		}
+		traces = append(traces, t)
+		if limit > 0 && len(traces) == limit {
+			break
+		}
+	}
+	r.mu.Unlock()
+	out := make([]TraceData, len(traces))
+	for i, t := range traces {
+		out[i] = t.Data()
+	}
+	return out
+}

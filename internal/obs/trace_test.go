@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceSpans checks span recording, attachments, and the Data
+// snapshot's duration computation.
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("req-1")
+	if tr.ID() != "req-1" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+	if tr.HasSpans() {
+		t.Fatal("fresh trace reports spans")
+	}
+	start := time.Now()
+	tr.Record("pack", start)
+	tr.Record("run", start)
+	tr.Attach("kind", "spanning")
+	if !tr.HasSpans() {
+		t.Fatal("HasSpans false after Record")
+	}
+	d := tr.Data()
+	if d.ID != "req-1" || len(d.Spans) != 2 {
+		t.Fatalf("data = %+v", d)
+	}
+	if d.Spans[0].Name != "pack" || d.Spans[1].Name != "run" {
+		t.Fatalf("span order = %q, %q", d.Spans[0].Name, d.Spans[1].Name)
+	}
+	if d.Spans[0].DurationNs < 0 {
+		t.Fatalf("negative duration %d", d.Spans[0].DurationNs)
+	}
+	for _, sp := range d.Spans {
+		if end := sp.StartNs + sp.DurationNs; end > d.DurationNs {
+			t.Fatalf("trace duration %d below span end %d", d.DurationNs, end)
+		}
+	}
+	if d.Attached["kind"] != "spanning" {
+		t.Fatalf("attachment lost: %+v", d.Attached)
+	}
+	// Snapshot is deep for spans: mutating the trace must not change d.
+	tr.Record("persist", start)
+	if len(d.Spans) != 2 {
+		t.Fatal("snapshot aliases live span slice")
+	}
+}
+
+// TestTraceNilSafe pins that every method is a no-op on a nil receiver,
+// so instrumented code never branches on trace presence.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Record("x", time.Now())
+	tr.Attach("k", 1)
+	if tr.ID() != "" || tr.HasSpans() {
+		t.Fatal("nil trace not inert")
+	}
+	if d := tr.Data(); d.ID != "" || len(d.Spans) != 0 {
+		t.Fatalf("nil trace data = %+v", d)
+	}
+}
+
+// TestTraceContext round-trips a trace through context.Context.
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yields a trace")
+	}
+	tr := NewTrace("ctx-1")
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}
+
+// TestRingEviction checks capacity, newest-first order, eviction, and
+// the total counter.
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(string(rune('a' + i)))
+		tr.Record("phase", time.Now())
+		r.Add(tr)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 3 {
+		t.Fatalf("resident = %d, want 3", len(snap))
+	}
+	// Newest first: e, d, c survive; a, b evicted.
+	for i, want := range []string{"e", "d", "c"} {
+		if snap[i].ID != want {
+			t.Fatalf("snap[%d] = %q, want %q", i, snap[i].ID, want)
+		}
+	}
+	if lim := r.Snapshot(2); len(lim) != 2 || lim[0].ID != "e" {
+		t.Fatalf("limited snapshot = %+v", lim)
+	}
+	r.Add(nil)
+	if r.Total() != 5 {
+		t.Fatal("nil add counted")
+	}
+}
+
+// TestRingConcurrent exercises concurrent Add/Snapshot under -race.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := NewTrace(NewID())
+				tr.Record("p", time.Now())
+				r.Add(tr)
+				_ = r.Snapshot(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+// TestNewIDUnique checks process-local uniqueness of generated ids.
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cast"
+	"repro/internal/obs"
 )
 
 // BatchDemand is one demand of a batch: a source list and the seed its
@@ -58,7 +60,7 @@ type BatchResult struct {
 // return is reserved for request-level rejection. The packing cache is
 // consulted exactly once for the whole batch.
 func (s *Service) BroadcastBatch(ctx context.Context, id string, kind Kind, demands []BatchDemand) (BatchResult, error) {
-	e, pe, err := s.prepareBatch(id, kind, demands)
+	e, pe, err := s.prepareBatch(ctx, id, kind, demands)
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -68,8 +70,12 @@ func (s *Service) BroadcastBatch(ctx context.Context, id string, kind Kind, dema
 // prepareBatch performs the request-level half of a batch: registry
 // lookup, kind/size validation, and the single packing-cache checkout.
 // The streaming handler calls it separately so request errors surface
-// as proper HTTP statuses before the first streamed byte.
-func (s *Service) prepareBatch(id string, kind Kind, demands []BatchDemand) (*graphEntry, *packEntry, error) {
+// as proper HTTP statuses before the first streamed byte. The registry
+// and leader-side pack phases land on the context's trace, and the
+// accepted batch size is observed once per batch.
+func (s *Service) prepareBatch(ctx context.Context, id string, kind Kind, demands []BatchDemand) (*graphEntry, *packEntry, error) {
+	tr := obs.FromContext(ctx)
+	start := time.Now()
 	e, ok := s.lookup(id)
 	if !ok {
 		return nil, nil, fmt.Errorf("serve: unknown graph %q", id)
@@ -80,7 +86,9 @@ func (s *Service) prepareBatch(id string, kind Kind, demands []BatchDemand) (*gr
 	if len(demands) > s.cfg.MaxBatch {
 		return nil, nil, fmt.Errorf("serve: batch of %d demands exceeds limit %d", len(demands), s.cfg.MaxBatch)
 	}
-	pe, _, err := s.pack(e, kind)
+	s.observePhase(tr, phaseRegistry, start)
+	s.batchHist.Observe(int64(len(demands)))
+	pe, _, err := s.pack(tr, e, kind)
 	if err != nil {
 		return nil, nil, err
 	}

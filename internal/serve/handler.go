@@ -7,6 +7,13 @@
 //	POST /v1/graphs/{id}/broadcast       {"kind":..,"sources":[..],"seed":..} -> BroadcastResponse
 //	POST /v1/graphs/{id}/broadcast/batch {"kind":..,"demands":[{"sources":[..],"seed":..},..]} -> BatchResponse
 //	GET  /v1/stats                                                    -> Stats
+//	GET  /v1/traces[?n=K]                                             -> TracesResponse
+//	GET  /metrics                                                     -> Prometheus text exposition
+//
+// Every request is assigned a request id, echoed in the X-Request-Id
+// response header, and carries an obs.Trace through its context; traces
+// that recorded at least one serving phase land in the recent-traces
+// ring behind GET /v1/traces.
 //
 // The batch endpoint also has a streaming mode (?stream=1): instead of
 // one response after the whole batch, it emits newline-delimited JSON
@@ -22,8 +29,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/cast"
+	"repro/internal/obs"
 )
 
 // RegisterRequest is the POST /v1/graphs payload.
@@ -131,7 +140,7 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		id := r.PathValue("id")
-		info, err := s.Decompose(id, req.Kind)
+		info, err := s.DecomposeContext(r.Context(), id, req.Kind)
 		if err != nil {
 			writeError(w, statusFor(s, id), err)
 			return
@@ -197,7 +206,47 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	return mux
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace limit %q", v))
+				return
+			}
+			limit = n
+		}
+		writeJSON(w, http.StatusOK, TracesResponse{
+			Total:  s.Traces().Total(),
+			Traces: s.Traces().Snapshot(limit),
+		})
+	})
+	mux.Handle("GET /metrics", s.Metrics().Handler())
+	return withObs(s, mux)
+}
+
+// TracesResponse answers GET /v1/traces: the recent traces newest
+// first (at most ?n=K of them) and the total ever recorded.
+type TracesResponse struct {
+	Total  uint64          `json:"total"`
+	Traces []obs.TraceData `json:"traces"`
+}
+
+// withObs is the request-observability middleware: it assigns each
+// request an id (echoed as X-Request-Id), threads a trace through the
+// request context, and — when the handler recorded at least one serving
+// phase — lands the trace in the recent-traces ring. Lookup-only
+// endpoints (stats, metrics, the traces endpoint itself) record no
+// spans and therefore never pollute the ring.
+func withObs(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(obs.NewID())
+		w.Header().Set("X-Request-Id", tr.ID())
+		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		if tr.HasSpans() {
+			s.Traces().Add(tr)
+		}
+	})
 }
 
 // streamBatch serves the batch's per-demand completion events as they
@@ -206,7 +255,7 @@ func NewHandler(s *Service) http.Handler {
 // after that the response is a 200 event stream regardless of
 // individual demand outcomes.
 func streamBatch(s *Service, w http.ResponseWriter, r *http.Request, id string, req BatchRequest) {
-	e, pe, err := s.prepareBatch(id, req.Kind, req.Demands)
+	e, pe, err := s.prepareBatch(r.Context(), id, req.Kind, req.Demands)
 	if err != nil {
 		writeError(w, statusFor(s, id), err)
 		return

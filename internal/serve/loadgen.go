@@ -35,6 +35,7 @@ import (
 	"repro/internal/cast"
 	"repro/internal/ds"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Seed-family domains. Each family is derived by splitting the config
@@ -157,6 +158,50 @@ type LoadReport struct {
 	// DeliveredFraction is pairs delivered over pairs expected across
 	// all faulted demands (1 when none were faulted).
 	DeliveredFraction float64 `json:"delivered_fraction"`
+
+	// Phases is the per-phase latency breakdown across completed demands
+	// (registry, clone, run, ...), folded from each demand's trace spans
+	// into deterministic obs histograms. Wall-clock like the percentiles
+	// above; phases with no observations are omitted.
+	Phases []PhaseSummary `json:"phases,omitempty"`
+}
+
+// PhaseSummary is one serving phase's latency summary (nanoseconds) in
+// a load report.
+type PhaseSummary struct {
+	Phase string `json:"phase"`
+	obs.Summary
+}
+
+// loadPhases accumulates per-demand trace spans into one histogram per
+// serving phase for the duration of a load run.
+type loadPhases [numPhases]obs.Histogram
+
+// observe runs one demand under a fresh trace and folds the recorded
+// spans into the phase histograms.
+func (p *loadPhases) observe(ctx context.Context, run func(context.Context) error) error {
+	tr := obs.NewTrace("")
+	err := run(obs.WithTrace(ctx, tr))
+	for _, sp := range tr.Data().Spans {
+		for ph, name := range phaseNames {
+			if sp.Name == name {
+				p[ph].Observe(sp.DurationNs)
+				break
+			}
+		}
+	}
+	return err
+}
+
+// summaries condenses the non-empty phase histograms, in phase order.
+func (p *loadPhases) summaries() []PhaseSummary {
+	var out []PhaseSummary
+	for ph := range p {
+		if p[ph].Count() > 0 {
+			out = append(out, PhaseSummary{Phase: phaseNames[ph], Summary: p[ph].Summarize()})
+		}
+	}
+	return out
 }
 
 // loadCounts is the per-worker (or per-demand) accounting folded into
@@ -234,30 +279,32 @@ func faultPlanFor(cfg *LoadConfig, pick *rand.Rand, i uint64) *cast.FaultPlan {
 	}
 }
 
-// runLoadDemand issues one demand (faulted or healthy) and folds its
-// outcome into c.
-func runLoadDemand(ctx context.Context, s *Service, cfg *LoadConfig, dem cast.Demand, seed uint64, plan *cast.FaultPlan, c *loadCounts) error {
-	if plan != nil {
-		fres, err := s.BroadcastFaulted(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed, *plan)
+// runLoadDemand issues one demand (faulted or healthy) under a fresh
+// trace, folds its outcome into c and its phase spans into ph.
+func runLoadDemand(ctx context.Context, s *Service, cfg *LoadConfig, dem cast.Demand, seed uint64, plan *cast.FaultPlan, c *loadCounts, ph *loadPhases) error {
+	return ph.observe(ctx, func(ctx context.Context) error {
+		if plan != nil {
+			fres, err := s.BroadcastFaulted(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed, *plan)
+			if err != nil {
+				return err
+			}
+			c.faulted++
+			c.lost += fres.MessagesLost
+			c.retries += fres.Retries
+			c.pairsD += fres.PairsDelivered
+			c.pairsE += fres.PairsExpected
+			c.completed++
+			c.rounds += uint64(fres.Rounds)
+			return nil
+		}
+		res, err := s.BroadcastContext(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed)
 		if err != nil {
 			return err
 		}
-		c.faulted++
-		c.lost += fres.MessagesLost
-		c.retries += fres.Retries
-		c.pairsD += fres.PairsDelivered
-		c.pairsE += fres.PairsExpected
 		c.completed++
-		c.rounds += uint64(fres.Rounds)
+		c.rounds += uint64(res.Rounds)
 		return nil
-	}
-	res, err := s.BroadcastContext(ctx, cfg.GraphID, cfg.Kind, dem.Sources, seed)
-	if err != nil {
-		return err
-	}
-	c.completed++
-	c.rounds += uint64(res.Rounds)
-	return nil
+	})
 }
 
 // generateClosedLoad is the K-workers × M-demands closed loop. The
@@ -291,10 +338,11 @@ func generateClosedLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport,
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		total loadCounts
-		first error
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		total  loadCounts
+		phases loadPhases
+		first  error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -326,7 +374,7 @@ func generateClosedLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport,
 					plan = plans[w][d]
 				}
 				seed := loadSeed(cfg.Seed, loadDomainRuns, uint64(w)*uint64(cfg.Demands)+uint64(d))
-				if err := runLoadDemand(ctx, s, &cfg, dem, seed, plan, &local); err != nil {
+				if err := runLoadDemand(ctx, s, &cfg, dem, seed, plan, &local, &phases); err != nil {
 					fail(err)
 					return
 				}
@@ -338,6 +386,7 @@ func generateClosedLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport,
 
 	rep := buildLoadReport("closed", &cfg, cfg.Workers*cfg.Demands, total, elapsed)
 	rep.Workers = cfg.Workers
+	rep.Phases = phases.summaries()
 	if first != nil {
 		return rep, first
 	}
@@ -383,6 +432,7 @@ func generateOpenLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport, e
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		total    loadCounts
+		phases   loadPhases
 		lats     []time.Duration
 		first    error
 		pending  atomic.Int64
@@ -419,7 +469,7 @@ func generateOpenLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport, e
 			defer wg.Done()
 			defer pending.Add(-1)
 			var local loadCounts
-			err := runLoadDemand(ctx, s, &cfg, demands[i], loadSeed(cfg.Seed, loadDomainRuns, uint64(i)), plans[i], &local)
+			err := runLoadDemand(ctx, s, &cfg, demands[i], loadSeed(cfg.Seed, loadDomainRuns, uint64(i)), plans[i], &local, &phases)
 			lat := time.Since(arrived)
 			if err != nil {
 				fail(err)
@@ -435,6 +485,7 @@ func generateOpenLoad(s *Service, cfg LoadConfig, g *graph.Graph) (LoadReport, e
 	elapsed := time.Since(start)
 
 	rep := buildLoadReport("open", &cfg, arrivals, total, elapsed)
+	rep.Phases = phases.summaries()
 	rep.Rejected = rejected
 	rep.ArrivalRate = cfg.ArrivalRate
 	rep.MaxPendingSeen = int(maxPend.Load())

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -86,8 +87,9 @@ func TestGenerateLoadOpenLoopReplayable(t *testing.T) {
 		r.Elapsed, r.DemandsPerSec = 0, 0
 		r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMax = 0, 0, 0, 0
 		r.MaxPendingSeen = 0
+		r.Phases = nil // per-phase latencies are wall-clock too
 	}
-	if rep != rep2 {
+	if !reflect.DeepEqual(rep, rep2) {
 		t.Fatalf("open-loop run not replayable:\n%+v\n%+v", rep, rep2)
 	}
 }

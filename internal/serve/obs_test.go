@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scrapeMetrics fetches /metrics and parses the single-value samples
+// (counters, gauges, histogram _sum/_count) into a map.
+func scrapeMetrics(t *testing.T, client *http.Client, base string) (map[string]float64, string) {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	var buf bytes.Buffer
+	vals := make(map[string]float64)
+	sc := bufio.NewScanner(io.TeeReader(resp.Body, &buf))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		vals[name] = f
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return vals, buf.String()
+}
+
+// TestMetricsEndpoint drives the serving path over HTTP and asserts
+// the exposition carries every ServiceStats counter, at least three
+// histograms, and — the pack-accounting invariant — that
+// PackRequests == PackComputes + CacheHits + Coalesced + StoreHits
+// holds in the scraped text itself.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{PackSeed: 1, StoreDir: t.TempDir()})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	id := mustRegister(t, s, testGraph())
+
+	// One compute, one cache hit, one broadcast per kind-path flavor.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Decompose(id, Spanning); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Broadcast(id, Spanning, []int{0, 1, 2}, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	vals, text := scrapeMetrics(t, srv.Client(), srv.URL)
+
+	// Every ServiceStats counter/gauge family must be exposed.
+	for _, name := range []string{
+		"repro_serve_requests_total", "repro_serve_messages_total", "repro_serve_rounds_total",
+		"repro_serve_pack_requests_total", "repro_serve_pack_computes_total",
+		"repro_serve_cache_hits_total", "repro_serve_coalesced_total",
+		"repro_serve_store_hits_total", "repro_serve_store_misses_total", "repro_serve_store_errors_total",
+		"repro_serve_evictions_total", "repro_serve_faulted_requests_total",
+		"repro_serve_messages_lost_total", "repro_serve_retries_total",
+		"repro_serve_events_dropped_total", "repro_serve_traces_total",
+		"repro_serve_graphs", "repro_serve_resident",
+		"repro_serve_max_vertex_congestion", "repro_serve_max_edge_congestion",
+		"repro_serve_delivered_fraction",
+	} {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	if hists := strings.Count(text, "# TYPE repro_serve_") - strings.Count(text, " counter\n") - strings.Count(text, " gauge\n"); hists < 3 {
+		t.Fatalf("want >= 3 histograms in exposition, got %d:\n%s", hists, text)
+	}
+
+	// The invariant, asserted from the scraped text.
+	got := vals["repro_serve_pack_requests_total"]
+	want := vals["repro_serve_pack_computes_total"] + vals["repro_serve_cache_hits_total"] +
+		vals["repro_serve_coalesced_total"] + vals["repro_serve_store_hits_total"]
+	if got != want || got == 0 {
+		t.Fatalf("pack accounting broken in /metrics: requests=%v computes+hits+coalesced+store=%v", got, want)
+	}
+
+	// Sanity: the served demand showed up in counters and histograms.
+	if vals["repro_serve_requests_total"] != 1 || vals["repro_serve_messages_total"] != 3 {
+		t.Fatalf("request counters wrong: %+v", vals)
+	}
+	if vals["repro_serve_demand_messages_count"] != 1 || vals["repro_serve_demand_messages_sum"] != 3 {
+		t.Fatalf("demand-size histogram wrong: count=%v sum=%v",
+			vals["repro_serve_demand_messages_count"], vals["repro_serve_demand_messages_sum"])
+	}
+	if vals["repro_serve_phase_run_ns_count"] < 1 {
+		t.Fatalf("run-phase histogram empty")
+	}
+}
+
+// TestMetricsScrapeWhileServing scrapes /metrics concurrently with live
+// broadcasts — the guarantee that a scrape can never tear, block, or
+// race the serving path (run under -race by make race).
+func TestMetricsScrapeWhileServing(t *testing.T) {
+	s := New(Config{PackSeed: 1, MaxConcurrent: 4})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	id := mustRegister(t, s, testGraph())
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := s.Broadcast(id, Spanning, []int{w, i % 8}, uint64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := srv.Client().Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	vals, _ := scrapeMetrics(t, srv.Client(), srv.URL)
+	if vals["repro_serve_requests_total"] != 60 {
+		t.Fatalf("requests_total = %v after 60 broadcasts", vals["repro_serve_requests_total"])
+	}
+}
+
+// TestTracesEndpoint pins the trace round trip: a broadcast served over
+// HTTP gets an X-Request-Id, its trace lands in the ring with the
+// serving phases as spans, and GET /v1/traces returns it newest-first.
+// Lookup-only requests must not pollute the ring.
+func TestTracesEndpoint(t *testing.T) {
+	s := New(Config{PackSeed: 1})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	id := mustRegister(t, s, testGraph())
+
+	body, _ := json.Marshal(BroadcastRequest{Kind: Spanning, Sources: []int{0, 1}, Seed: 3})
+	resp, err := srv.Client().Post(srv.URL+"/v1/graphs/"+id+"/broadcast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("broadcast: %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id on broadcast response")
+	}
+
+	// Stats and traces lookups are span-free and must stay out of the ring.
+	for _, path := range []string{"/v1/stats", "/v1/traces", "/metrics"} {
+		r, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+
+	var tr TracesResponse
+	r, err := srv.Client().Get(srv.URL + "/v1/traces?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if tr.Total != 1 || len(tr.Traces) != 1 {
+		t.Fatalf("ring holds %d traces (total %d), want exactly the broadcast", len(tr.Traces), tr.Total)
+	}
+	got := tr.Traces[0]
+	if got.ID != reqID {
+		t.Fatalf("trace id %q != X-Request-Id %q", got.ID, reqID)
+	}
+	names := make(map[string]bool)
+	for _, sp := range got.Spans {
+		names[sp.Name] = true
+		if sp.DurationNs < 0 || sp.StartNs+sp.DurationNs > got.DurationNs {
+			t.Fatalf("span %+v inconsistent with trace duration %d", sp, got.DurationNs)
+		}
+	}
+	for _, want := range []string{"registry", "pack", "clone", "run"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q span, has %v", want, got.Spans)
+		}
+	}
+	// This broadcast computed the packing, so its trace carries the profile.
+	if got.Attached["pack_profile"] == nil {
+		t.Fatalf("trace missing pack_profile attachment: %+v", got.Attached)
+	}
+
+	if r, err = srv.Client().Get(srv.URL + "/v1/traces?n=bogus"); err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit accepted: %d", r.StatusCode)
+	}
+}
+
+// TestDecomposeProfile pins the PackProfile surface: the computing
+// request gets kind-specific packer internals on its DecompInfo, the
+// cached follow-up does not (nothing ran), and the stop-check split
+// accounts for every post-first-iteration stop test.
+func TestDecomposeProfile(t *testing.T) {
+	s := New(Config{PackSeed: 1})
+	id := mustRegister(t, s, testGraph())
+
+	info, err := s.Decompose(id, Spanning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := info.Profile
+	if p == nil {
+		t.Fatal("computing Decompose returned no profile")
+	}
+	if p.Kind != Spanning || p.Trees != info.Trees {
+		t.Fatalf("profile header wrong: %+v vs info %+v", p, info)
+	}
+	if p.Iterations <= 0 || p.MaxLoad <= 0 {
+		t.Fatalf("spanning profile missing MWU internals: %+v", p)
+	}
+	if p.StopChecksExact+p.StopChecksSkipped == 0 {
+		t.Fatalf("no stop checks recorded: %+v", p)
+	}
+	if p.Layers != 0 || p.Matched != 0 {
+		t.Fatalf("spanning profile carries dominating fields: %+v", p)
+	}
+
+	cached, err := s.Decompose(id, Spanning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached || cached.Profile != nil {
+		t.Fatalf("cached Decompose should carry no profile: %+v", cached)
+	}
+
+	dom, err := s.Decompose(id, Dominating)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := dom.Profile
+	if dp == nil || dp.Kind != Dominating {
+		t.Fatalf("dominating profile missing: %+v", dp)
+	}
+	if dp.Layers <= 0 || dp.Classes <= 0 || dp.Matched+dp.Unmatched == 0 {
+		t.Fatalf("dominating profile missing layer internals: %+v", dp)
+	}
+	if dp.Iterations != 0 || dp.DedupHits != 0 {
+		t.Fatalf("dominating profile carries spanning fields: %+v", dp)
+	}
+}
+
+// TestLoadReportPhases pins the per-phase breakdown in load reports:
+// a closed-loop run fills registry/clone/run summaries whose counts
+// match the completed demands.
+func TestLoadReportPhases(t *testing.T) {
+	s := New(Config{PackSeed: 1, MaxConcurrent: 2})
+	id := mustRegister(t, s, testGraph())
+	rep, err := GenerateLoad(s, LoadConfig{GraphID: id, Kind: Spanning, Workers: 2, Demands: 3, MsgsPerDemand: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("load report has no phase summaries")
+	}
+	byName := make(map[string]obs.Summary)
+	for _, ph := range rep.Phases {
+		byName[ph.Phase] = ph.Summary
+	}
+	for _, want := range []string{"registry", "clone", "run"} {
+		sum, ok := byName[want]
+		if !ok {
+			t.Fatalf("phase %q missing from %+v", want, rep.Phases)
+		}
+		if sum.Count != uint64(rep.Completed) {
+			t.Fatalf("phase %q count %d != completed %d", want, sum.Count, rep.Completed)
+		}
+		if sum.P50 > sum.P99 || sum.P99 > sum.Max && sum.Max > 0 {
+			t.Fatalf("phase %q quantiles disordered: %+v", want, sum)
+		}
+	}
+	if _, ok := byName["pack"]; ok {
+		t.Fatal("pack phase leaked into load phases (decomposition is pre-warmed)")
+	}
+}

@@ -48,11 +48,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cast"
 	"repro/internal/cds"
 	"repro/internal/check"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/snap"
 	"repro/internal/stp"
@@ -112,6 +114,9 @@ type Config struct {
 	// recently used completed decomposition is evicted; it reloads from
 	// the store (or repacks) on its next request.
 	MaxResident int
+	// TraceRing bounds how many recent request traces stay resident for
+	// the traces endpoint. Default 64.
+	TraceRing int
 }
 
 // Service is the concurrent decomposition service. All methods are safe
@@ -155,6 +160,15 @@ type Service struct {
 	bus           *eventBus
 	batchSeq      atomic.Uint64 // batch-id allocator (ids start at 1)
 	eventsDropped atomic.Uint64 // events lost to the slow-subscriber policy
+
+	// Observability (see obs.go): the metric registry pulling from the
+	// counters above at scrape time, per-phase latency histograms, size
+	// histograms, and the ring of recent request traces.
+	metrics   *obs.Registry
+	phaseHist [numPhases]*obs.Histogram
+	msgsHist  *obs.Histogram // messages per served demand
+	batchHist *obs.Histogram // demands per accepted batch
+	traces    *obs.Ring
 }
 
 // registryShard is one goroutine-safe segment of the graph registry:
@@ -234,14 +248,15 @@ type graphEntry struct {
 // list (nil once evicted); it is guarded by the shard mutex like the
 // packs map.
 type packEntry struct {
-	done   chan struct{}
-	proto  *cast.Scheduler
-	pool   sync.Pool
-	wtrees []cast.WeightedTree // the packed trees, for snapshotting
-	trees  int
-	size   float64
-	err    error
-	elem   *list.Element
+	done    chan struct{}
+	proto   *cast.Scheduler
+	pool    sync.Pool
+	wtrees  []cast.WeightedTree // the packed trees, for snapshotting
+	trees   int
+	size    float64
+	profile *PackProfile // packer-internal counters; nil for store/ingest loads
+	err     error
+	elem    *list.Element
 }
 
 // New builds an empty service.
@@ -258,6 +273,9 @@ func New(cfg Config) *Service {
 	if cfg.StreamBuffer <= 0 {
 		cfg.StreamBuffer = 256
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 64
+	}
 	s := &Service{
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
@@ -271,6 +289,7 @@ func New(cfg Config) *Service {
 		s.shards[i].lru = list.New()                      //repro:allow guardedfield constructor: service not yet published
 	}
 	s.bus = newEventBus(&s.eventsDropped)
+	s.initObs()
 	return s
 }
 
@@ -378,6 +397,11 @@ type DecompInfo struct {
 	// packer — from the in-memory cache or the snapshot store (false
 	// exactly for the one request that triggered the packing).
 	Cached bool `json:"cached"`
+	// Profile is the packer-internal instrumentation of the computation
+	// that produced this decomposition. Nil when the decomposition was
+	// restored from the snapshot store or ingested (no packer ran in
+	// this process, so there is nothing to profile).
+	Profile *PackProfile `json:"profile,omitempty"`
 }
 
 // Decompose returns the graph's decomposition of the given kind,
@@ -389,18 +413,34 @@ type DecompInfo struct {
 // store and only packs when no valid snapshot exists. On error the
 // returned info is zero: a failed packing has no trees or size to report.
 func (s *Service) Decompose(id string, kind Kind) (DecompInfo, error) {
+	return s.DecomposeContext(context.Background(), id, kind)
+}
+
+// DecomposeContext is Decompose with a context carrying the request's
+// trace (obs.WithTrace): the registry and pack phases are recorded as
+// spans and the computing leader's pack profile is attached under
+// "pack_profile". The context does not (yet) cancel an in-flight
+// packing — the packers run to completion once started.
+func (s *Service) DecomposeContext(ctx context.Context, id string, kind Kind) (DecompInfo, error) {
+	tr := obs.FromContext(ctx)
+	start := time.Now()
 	e, ok := s.lookup(id)
 	if !ok {
 		return DecompInfo{}, fmt.Errorf("serve: unknown graph %q", id)
 	}
-	pe, hit, err := s.pack(e, kind)
+	s.observePhase(tr, phaseRegistry, start)
+	pe, hit, err := s.pack(tr, e, kind)
 	if err != nil {
 		return DecompInfo{}, err
 	}
 	if pe.err != nil {
 		return DecompInfo{}, pe.err
 	}
-	return DecompInfo{GraphID: id, Kind: kind, Trees: pe.trees, Size: pe.size, Cached: hit}, nil
+	info := DecompInfo{GraphID: id, Kind: kind, Trees: pe.trees, Size: pe.size, Cached: hit}
+	if !hit {
+		info.Profile = pe.profile // the compute leader reports what it ran
+	}
+	return info, nil
 }
 
 // pack is the singleflight packing cache: the first caller for a
@@ -413,8 +453,9 @@ func (s *Service) Decompose(id string, kind Kind) (DecompInfo, error) {
 // decomposition from the snapshot store is a store hit. Every request
 // lands in exactly one of those buckets or in PackComputes, so
 // PackRequests == PackComputes + CacheHits + Coalesced + StoreHits
-// always holds.
-func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
+// always holds. tr (nil allowed) receives store_load and pack phase
+// spans on the leader paths that perform that work.
+func (s *Service) pack(tr *obs.Trace, e *graphEntry, kind Kind) (*packEntry, bool, error) {
 	if !kind.valid() {
 		return nil, false, fmt.Errorf("serve: unknown decomposition kind %q", kind)
 	}
@@ -447,8 +488,10 @@ func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
 	// failure — missing, torn, tampered, wrong version, oracle-rejected
 	// — degrades to a recompute, never to a request error.
 	if s.store != nil {
+		loadStart := time.Now()
 		if sn, err := s.store.Load(e.id, string(kind), s.digest); err == nil {
 			if aerr := s.adopt(e, kind, pe, sn); aerr == nil {
+				s.observePhase(tr, phaseStoreLoad, loadStart)
 				s.storeHits.Add(1)
 				e.storeHits.Add(1)
 				close(pe.done)
@@ -460,18 +503,24 @@ func (s *Service) pack(e *graphEntry, kind Kind) (*packEntry, bool, error) {
 		} else {
 			s.storeErrors.Add(1)
 		}
+		s.observePhase(tr, phaseStoreLoad, loadStart)
 	}
 
 	s.packComputes.Add(1)
 	e.computes.Add(1)
-	pe.trees, pe.size, pe.wtrees, pe.proto, pe.err = s.compute(e.g, kind)
+	packStart := time.Now()
+	pe.trees, pe.size, pe.wtrees, pe.proto, pe.profile, pe.err = s.compute(e.g, kind)
+	s.observePhase(tr, phasePack, packStart)
+	if pe.err == nil {
+		tr.Attach("pack_profile", pe.profile)
+	}
 	if pe.proto != nil {
 		proto := pe.proto
 		pe.pool.New = func() any { return proto.Clone() }
 	}
 	close(pe.done)
 	if s.store != nil && pe.err == nil {
-		s.saveAsync(e, kind, pe)
+		s.saveAsync(tr, e, kind, pe)
 	}
 	return pe, false, nil
 }
@@ -540,10 +589,14 @@ func (s *Service) adopt(e *graphEntry, kind Kind, pe *packEntry, sn *snap.Snapsh
 // the request that computed it returns immediately and the snapshot
 // lands on disk in the background. FlushStore waits for all pending
 // saves (call it before shutdown or before asserting on-disk state).
-func (s *Service) saveAsync(e *graphEntry, kind Kind, pe *packEntry) {
+// The persist phase lands on the computing request's trace after the
+// fact — the trace ring holds live pointers, so the span shows up in
+// later snapshots of the same trace.
+func (s *Service) saveAsync(tr *obs.Trace, e *graphEntry, kind Kind, pe *packEntry) {
 	s.saves.Add(1)
 	go func() {
 		defer s.saves.Done()
+		start := time.Now()
 		trees := make([]check.Weighted, len(pe.wtrees))
 		for i, t := range pe.wtrees {
 			trees[i] = check.Weighted{Tree: t.Tree, Weight: t.Weight}
@@ -555,6 +608,7 @@ func (s *Service) saveAsync(e *graphEntry, kind Kind, pe *packEntry) {
 		if err != nil {
 			s.storeErrors.Add(1)
 		}
+		s.observePhase(tr, phasePersist, start)
 	}()
 }
 
@@ -606,24 +660,26 @@ func (s *Service) Ingest(sn *snap.Snapshot) (string, error) {
 		return "", pe.err
 	}
 	if s.store != nil {
-		s.saveAsync(e, kind, pe)
+		s.saveAsync(nil, e, kind, pe)
 	}
 	return id, nil
 }
 
-// compute runs the packer for the kind and builds the prototype
-// scheduler whose core all pooled clones will share.
-func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, []cast.WeightedTree, *cast.Scheduler, error) {
+// compute runs the packer for the kind, builds the prototype scheduler
+// whose core all pooled clones will share, and condenses the packer's
+// run diagnostics into a PackProfile.
+func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, []cast.WeightedTree, *cast.Scheduler, *PackProfile, error) {
 	var (
-		trees []cast.WeightedTree
-		size  float64
-		model sim.Model
+		trees   []cast.WeightedTree
+		size    float64
+		model   sim.Model
+		profile *PackProfile
 	)
 	switch kind {
 	case Dominating:
 		p, err := cds.Pack(g, cds.Options{Seed: s.cfg.PackSeed})
 		if err != nil {
-			return 0, 0, nil, nil, fmt.Errorf("serve: dominating-tree packing: %w", err)
+			return 0, 0, nil, nil, nil, fmt.Errorf("serve: dominating-tree packing: %w", err)
 		}
 		trees = make([]cast.WeightedTree, len(p.Trees))
 		for i, t := range p.Trees {
@@ -631,10 +687,20 @@ func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, []cast.Weigh
 		}
 		size = p.Size()
 		model = sim.VCongest
+		profile = &PackProfile{
+			Kind:         kind,
+			Trees:        len(trees),
+			MaxLoad:      float64(p.Stats.MaxLoad),
+			Layers:       p.Stats.Layers,
+			Classes:      p.Stats.Classes,
+			ValidClasses: p.Stats.ValidClasses,
+			Matched:      p.Stats.Matched,
+			Unmatched:    p.Stats.Unmatched,
+		}
 	case Spanning:
 		p, err := stp.Pack(g, stp.Options{Seed: s.cfg.PackSeed, Epsilon: s.cfg.Epsilon})
 		if err != nil {
-			return 0, 0, nil, nil, fmt.Errorf("serve: spanning-tree packing: %w", err)
+			return 0, 0, nil, nil, nil, fmt.Errorf("serve: spanning-tree packing: %w", err)
 		}
 		trees = make([]cast.WeightedTree, len(p.Trees))
 		for i, t := range p.Trees {
@@ -642,12 +708,23 @@ func (s *Service) compute(g *graph.Graph, kind Kind) (int, float64, []cast.Weigh
 		}
 		size = p.Size()
 		model = sim.ECongest
+		profile = &PackProfile{
+			Kind:              kind,
+			Trees:             len(trees),
+			MaxLoad:           p.Stats.MaxLoad,
+			Iterations:        p.Stats.Iterations,
+			StopChecksExact:   p.Stats.StopChecksExact,
+			StopChecksSkipped: p.Stats.StopChecksSkipped,
+			DedupHits:         p.Stats.DedupHits,
+			Subgraphs:         p.Stats.Subgraphs,
+			SubgraphsPacked:   p.Stats.SubgraphsPacked,
+		}
 	}
 	sched, err := cast.NewScheduler(g, trees, model)
 	if err != nil {
-		return 0, 0, nil, nil, fmt.Errorf("serve: scheduler construction: %w", err)
+		return 0, 0, nil, nil, nil, fmt.Errorf("serve: scheduler construction: %w", err)
 	}
-	return len(trees), size, trees, sched, nil
+	return len(trees), size, trees, sched, profile, nil
 }
 
 // Broadcast serves one demand over the graph's cached decomposition
@@ -664,7 +741,7 @@ func (s *Service) Broadcast(id string, kind Kind, sources []int, seed uint64) (c
 // clone returned to its pool, so a client disconnect mid-broadcast
 // never leaks service capacity.
 func (s *Service) BroadcastContext(ctx context.Context, id string, kind Kind, sources []int, seed uint64) (cast.Result, error) {
-	e, pe, err := s.checkoutDemand(id, kind, sources)
+	e, pe, err := s.checkoutDemand(ctx, id, kind, sources)
 	if err != nil {
 		return cast.Result{}, err
 	}
@@ -684,7 +761,7 @@ func (s *Service) BroadcastContext(ctx context.Context, id string, kind Kind, so
 // cancellation — so a chaos run can never poison the packing cache or
 // be mistaken for a service failure.
 func (s *Service) BroadcastFaulted(ctx context.Context, id string, kind Kind, sources []int, seed uint64, plan cast.FaultPlan) (cast.FaultResult, error) {
-	e, pe, err := s.checkoutDemand(id, kind, sources)
+	e, pe, err := s.checkoutDemand(ctx, id, kind, sources)
 	if err != nil {
 		return cast.FaultResult{}, err
 	}
@@ -710,8 +787,12 @@ func (s *Service) BroadcastFaulted(ctx context.Context, id string, kind Kind, so
 }
 
 // checkoutDemand validates a demand and resolves its packing cache
-// entry (computing the decomposition if needed).
-func (s *Service) checkoutDemand(id string, kind Kind, sources []int) (*graphEntry, *packEntry, error) {
+// entry (computing the decomposition if needed). The registry phase
+// (lookup + validation) and any leader-side pack phases land on the
+// context's trace.
+func (s *Service) checkoutDemand(ctx context.Context, id string, kind Kind, sources []int) (*graphEntry, *packEntry, error) {
+	tr := obs.FromContext(ctx)
+	start := time.Now()
 	e, ok := s.lookup(id)
 	if !ok {
 		return nil, nil, fmt.Errorf("serve: unknown graph %q", id)
@@ -719,7 +800,8 @@ func (s *Service) checkoutDemand(id string, kind Kind, sources []int) (*graphEnt
 	if err := s.validateSources(e, sources); err != nil {
 		return nil, nil, err
 	}
-	pe, _, err := s.pack(e, kind)
+	s.observePhase(tr, phaseRegistry, start)
+	pe, _, err := s.pack(tr, e, kind)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -750,14 +832,21 @@ func (s *Service) validateSources(e *graphEntry, sources []int) error {
 // runDemand executes one demand under the concurrency bound with a
 // pooled clone, releasing both slot and clone on every path (a clone's
 // buffers are cleared at Run entry, so a cancelled clone is pool-safe).
+// The clone checkout (slot wait + pool get) and the round loop are the
+// clone and run trace phases.
 func (s *Service) runDemand(ctx context.Context, pe *packEntry, run func(*cast.Scheduler) (cast.Result, error)) (cast.Result, error) {
+	tr := obs.FromContext(ctx)
+	cloneStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		return cast.Result{}, ctx.Err()
 	}
 	c := pe.pool.Get().(*cast.Scheduler)
+	s.observePhase(tr, phaseClone, cloneStart)
+	runStart := time.Now()
 	res, err := run(c)
+	s.observePhase(tr, phaseRun, runStart)
 	pe.pool.Put(c)
 	<-s.sem
 	if err != nil {
@@ -772,6 +861,7 @@ func (s *Service) recordDemand(e *graphEntry, msgs int, res cast.Result) {
 	s.requests.Add(1)
 	e.requests.Add(1)
 	s.messages.Add(uint64(msgs))
+	s.msgsHist.Observe(int64(msgs))
 	s.rounds.Add(uint64(res.Rounds))
 	e.rounds.Add(uint64(res.Rounds))
 	maxInt64(&s.maxVCong, int64(res.MaxVertexCongestion))

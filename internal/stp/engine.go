@@ -77,6 +77,12 @@ type Engine struct {
 	oracle MSTOracle
 	iters  int
 	done   bool
+
+	// Profiling counters copied into Stats by Finish (observability only;
+	// none of these feed the fingerprint).
+	stopExact   int // stop tests that ran the exact O(m) rescan
+	stopSkipped int // stop tests the conservative O(1) bound skipped
+	dedupHits   int // trees folded into an existing entry by signature
 }
 
 // packEntry is one distinct tree of the collection with its accumulated
@@ -204,8 +210,10 @@ func (e *Engine) shouldStop(chosen []int) bool {
 	}
 	xMax := e.x[e.order.MaxID()]
 	if e.logTreeEdges+maxExpMST+skipMargin < e.logOneMinusE+e.alpha*maxZ+math.Log(xMax) {
+		e.stopSkipped++
 		return false
 	}
+	e.stopExact++
 
 	e.costMST.Reset()
 	for _, c := range chosen {
@@ -260,6 +268,7 @@ func (e *Engine) addTree(chosen []int, beta float64) error {
 	for _, idx := range e.sigIndex[sig] {
 		if ent := e.entries[idx]; edgeIDsEqual(ent.ids, byID) {
 			ent.weight += beta
+			e.dedupHits++
 			return nil
 		}
 	}
@@ -285,7 +294,14 @@ func (e *Engine) Finish() *Packing {
 		maxZ = 1
 	}
 	scale := float64(e.halfLam) / maxZ
-	p := &Packing{Stats: Stats{Lambda: e.lambda, Iterations: e.iters, MaxLoad: maxZ}}
+	p := &Packing{Stats: Stats{
+		Lambda:            e.lambda,
+		Iterations:        e.iters,
+		MaxLoad:           maxZ,
+		StopChecksExact:   e.stopExact,
+		StopChecksSkipped: e.stopSkipped,
+		DedupHits:         e.dedupHits,
+	}}
 	for _, ent := range e.entries {
 		if w := ent.weight * scale; w > 1e-12 {
 			p.Trees = append(p.Trees, Tree{Tree: ent.tree, Weight: w})

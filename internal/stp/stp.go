@@ -52,6 +52,15 @@ type Stats struct {
 	SubgraphsPacked int
 	// DistinctTrees counts distinct trees in the collection.
 	DistinctTrees int
+	// StopChecksExact counts stop tests that ran the exact O(m) rescan;
+	// StopChecksSkipped counts those the conservative O(1) bound skipped.
+	// Their ratio is the skip bound's effectiveness (observability only —
+	// neither feeds the fingerprint).
+	StopChecksExact   int
+	StopChecksSkipped int
+	// DedupHits counts oracle trees folded into an existing entry by the
+	// FNV signature index instead of allocating a new one.
+	DedupHits int
 }
 
 // Size returns Σ w_τ.
@@ -235,6 +244,9 @@ func Pack(g *graph.Graph, opts Options) (*Packing, error) {
 			out.Stats.MaxLoad = sp.Stats.MaxLoad
 		}
 		out.Stats.DistinctTrees += sp.Stats.DistinctTrees
+		out.Stats.StopChecksExact += sp.Stats.StopChecksExact
+		out.Stats.StopChecksSkipped += sp.Stats.StopChecksSkipped
+		out.Stats.DedupHits += sp.Stats.DedupHits
 	}
 	if len(out.Trees) == 0 {
 		return nil, fmt.Errorf("stp: all %d sampled subgraphs were disconnected", eta)
